@@ -1,0 +1,12 @@
+"""Ablation bench: PDIP candidate filters.
+
+Section 5.3's two pollution filters: insert only high-cost FEC
+lines, only back-end-stalling ones, both (paper), or all FEC lines.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_candidate_filter(benchmark, emit):
+    result = benchmark.pedantic(ablations.candidate_filter, rounds=1, iterations=1)
+    emit("ablation_candidate_filter", ablations.render(result, "PDIP candidate filters"))

@@ -1,0 +1,12 @@
+"""Ablation bench: EMISSARY protected ways / promotion.
+
+The paper's EMISSARY configuration knobs: ways reserved per L2 set
+and the promotion probability.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_emissary_knobs(benchmark, emit):
+    result = benchmark.pedantic(ablations.emissary_knobs, rounds=1, iterations=1)
+    emit("ablation_emissary_knobs", ablations.render(result, "EMISSARY protected ways / promotion"))

@@ -1,0 +1,12 @@
+"""Ablation bench: FTQ depth vs PDIP gain.
+
+Ishii et al.: prefetcher gains shrink as the FTQ deepens, because
+FDIP hides more misses by itself.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_ftq_depth(benchmark, emit):
+    result = benchmark.pedantic(ablations.ftq_depth, rounds=1, iterations=1)
+    emit("ablation_ftq_depth", ablations.render(result, "FTQ depth vs PDIP gain"))

@@ -1,0 +1,13 @@
+"""Ablation bench: PDIP insertion probability.
+
+Section 5.3: the paper found 0.25 best among 1 -> 0.03 at 100M
+instructions; the scaled reproduction defaults to 1.0 because the
+table must converge ~400x faster.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_insertion_prob(benchmark, emit):
+    result = benchmark.pedantic(ablations.insertion_probability, rounds=1, iterations=1)
+    emit("ablation_insertion_prob", ablations.render(result, "PDIP insertion probability"))

@@ -1,0 +1,12 @@
+"""Ablation bench: iTLB sensitivity (paper Section 4.2 side experiment).
+
+The paper tried iTLB misses as PDIP trigger events and saw no gain; this
+ablation enables the iTLB substrate and checks PDIP's gain is stable.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_itlb(benchmark, emit):
+    result = benchmark.pedantic(ablations.itlb, rounds=1, iterations=1)
+    emit("ablation_itlb", ablations.render(result, "iTLB sensitivity"))

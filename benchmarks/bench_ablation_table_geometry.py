@@ -1,0 +1,12 @@
+"""Ablation bench: PDIP table geometry.
+
+Section 5.1: targets per entry and the following-blocks mask width
+(paper chose 2 targets + 4-bit mask).
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_table_geometry(benchmark, emit):
+    result = benchmark.pedantic(ablations.table_geometry, rounds=1, iterations=1)
+    emit("ablation_table_geometry", ablations.render(result, "PDIP table geometry"))

@@ -1,0 +1,14 @@
+"""Extension bench (beyond the paper's figures): related-work prefetchers.
+
+Puts the Section 8 related-work designs — a sequential next-line
+prefetcher and RDIP — on the same simulator as EIP and PDIP, plus the
+paper's dropped path-information PDIP variant (Section 5.2).
+"""
+
+from repro.experiments import ext_related_work as driver
+
+
+def test_ext_related_work(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    emit_svg("ext_related_work", driver.render_svg(result))
+    emit("ext_related_work", driver.render(result))

@@ -1,0 +1,15 @@
+"""Benchmark harness: regenerate Figure 1.
+
+Top-down issue-slot breakdown of cassandra on the FDIP baseline
+(paper: 16.9% retiring / 53.6% front-end bound / 10.6% bad
+speculation / 18.9% back-end bound).
+"""
+
+from repro.experiments import fig01_topdown as driver
+
+
+def test_fig01_topdown(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig01_topdown", driver.render_svg(result))
+    emit("fig01_topdown", driver.render(result))

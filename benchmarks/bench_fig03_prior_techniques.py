@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerate Figure 3.
+
+Speedups of 2X IL1, EMISSARY, EIP-Analytical, EIP+EMISSARY, and
+FEC-Ideal over the FDIP baseline, per benchmark plus geomean.
+"""
+
+from repro.experiments import fig03_prior_techniques as driver
+
+
+def test_fig03_prior_techniques(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig03_prior_techniques", driver.render_svg(result))
+    emit("fig03_prior_techniques", driver.render(result))

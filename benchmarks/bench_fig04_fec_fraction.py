@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerate Figure 4.
+
+FEC lines as a fraction of retired lines, and the share of decode
+starvation they cause (paper: ~10% of lines cause ~62% of stalls).
+"""
+
+from repro.experiments import fig04_fec_fraction as driver
+
+
+def test_fig04_fec_fraction(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig04_fec_fraction", driver.render_svg(result))
+    emit("fig04_fec_fraction", driver.render(result))

@@ -1,0 +1,13 @@
+"""Benchmark harness: regenerate Figure 9.
+
+Baseline MPKI at L1-I / L2-I / L2-D / L3 for all 16 benchmarks.
+"""
+
+from repro.experiments import fig09_mpki as driver
+
+
+def test_fig09_mpki(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig09_mpki", driver.render_svg(result))
+    emit("fig09_mpki", driver.render(result))

@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerate Figure 10.
+
+The headline comparison: EIP(46), EIP-Analytical, EMISSARY,
+PDIP(44), PDIP(44)+EMISSARY and the zero-cost PDIP bound.
+"""
+
+from repro.experiments import fig10_speedup as driver
+
+
+def test_fig10_speedup(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig10_speedup", driver.render_svg(result))
+    emit("fig10_speedup", driver.render(result))

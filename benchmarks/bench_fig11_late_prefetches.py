@@ -1,0 +1,13 @@
+"""Benchmark harness: regenerate Figure 11.
+
+Percentage of late prefetches (partial hits) for PDIP(44) vs EIP(46).
+"""
+
+from repro.experiments import fig11_late_prefetches as driver
+
+
+def test_fig11_late_prefetches(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig11_late_prefetches", driver.render_svg(result))
+    emit("fig11_late_prefetches", driver.render(result))

@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerate Figure 12.
+
+Reduction in FEC starvation cycles for PDIP(44), EIP(46), and
+PDIP+EMISSARY, plus FEC coverage.
+"""
+
+from repro.experiments import fig12_fec_stall_reduction as driver
+
+
+def test_fig12_fec_stall_reduction(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig12_fec_stall_reduction", driver.render_svg(result))
+    emit("fig12_fec_stall_reduction", driver.render(result))

@@ -1,0 +1,13 @@
+"""Benchmark harness: regenerate Figure 13.
+
+PDIP table size sensitivity: 11 / 22 / 43.5 / 87 KB.
+"""
+
+from repro.experiments import fig13_table_sensitivity as driver
+
+
+def test_fig13_table_sensitivity(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig13_table_sensitivity", driver.render_svg(result))
+    emit("fig13_table_sensitivity", driver.render(result))

@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerate Figure 14.
+
+Prefetch policy gains at BTB sizes 4K-64K entries (vs the baseline
+at the same BTB size).
+"""
+
+from repro.experiments import fig14_btb_sensitivity as driver
+
+
+def test_fig14_btb_sensitivity(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig14_btb_sensitivity", driver.render_svg(result))
+    emit("fig14_btb_sensitivity", driver.render(result))

@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerate Figure 15.
+
+IPC gain against total front-end storage (BTB + prefetch table),
+normalized to FDIP with the smallest BTB.
+"""
+
+from repro.experiments import fig15_storage_efficiency as driver
+
+
+def test_fig15_storage_efficiency(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig15_storage_efficiency", driver.render_svg(result))
+    emit("fig15_storage_efficiency", driver.render(result))

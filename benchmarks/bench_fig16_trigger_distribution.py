@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerate Figure 16.
+
+Distribution of PDIP prefetch triggers: mispredict-family vs
+last-taken-branch (paper: 89% / 11%).
+"""
+
+from repro.experiments import fig16_trigger_distribution as driver
+
+
+def test_fig16_trigger_distribution(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    if hasattr(driver, "render_svg"):
+        emit_svg("fig16_trigger_distribution", driver.render_svg(result))
+    emit("fig16_trigger_distribution", driver.render(result))

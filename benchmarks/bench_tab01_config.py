@@ -1,0 +1,11 @@
+"""Benchmark harness: regenerate Table 1.
+
+The simulated processor configuration next to the paper's.
+"""
+
+from repro.experiments import tab01_config as driver
+
+
+def test_tab01_config(benchmark, emit):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    emit("tab01_config", driver.render(result))

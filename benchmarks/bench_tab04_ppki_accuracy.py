@@ -1,0 +1,12 @@
+"""Benchmark harness: regenerate Table 4.
+
+Mean prefetches per kilo-instruction and prefetch accuracy for the
+EIP and PDIP configurations.
+"""
+
+from repro.experiments import tab04_ppki_accuracy as driver
+
+
+def test_tab04_ppki_accuracy(benchmark, emit):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    emit("tab04_ppki_accuracy", driver.render(result))

@@ -1,0 +1,11 @@
+"""Benchmark harness: regenerate Table 5.
+
+Core-relative energy and area overheads of the PDIP tables.
+"""
+
+from repro.experiments import tab05_energy_area as driver
+
+
+def test_tab05_energy_area(benchmark, emit):
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    emit("tab05_energy_area", driver.render(result))

@@ -1,0 +1,43 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Each bench regenerates one paper artifact: it runs the experiment driver
+(through the on-disk result cache, so repeated invocations are cheap),
+prints the paper-style table, and writes it to ``benchmarks/output/``.
+
+Budget control (environment variables):
+
+* ``REPRO_INSTRUCTIONS`` / ``REPRO_WARMUP`` — per-run instruction budget
+  (defaults 400k/120k; use e.g. 60000/20000 for a quick smoke pass);
+* ``REPRO_BENCHMARKS`` — comma-separated benchmark subset or ``all``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def emit():
+    """Print a rendered experiment table and persist it to output/."""
+
+    def _emit(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / (name + ".txt")).write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit
+
+
+@pytest.fixture
+def emit_svg():
+    """Persist an SVG rendering of the figure to output/."""
+
+    def _emit(name: str, svg: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / (name + ".svg")).write_text(svg)
+
+    return _emit

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Model your own service and ask whether PDIP would help it.
+
+The paper's motivation is a datacenter service whose code footprint
+dwarfs the instruction cache. This example builds a *custom* synthetic
+workload from first-principles knobs — how many request handlers, how
+deep the software stack is, how hot the shared library code is — and then
+answers the practical question: is this workload front-end bound, and
+what does each mitigation (bigger L1-I, EMISSARY, EIP, PDIP) buy?
+
+Usage::
+
+    python examples/custom_workload.py [--handlers N] [--depth D] ...
+"""
+
+import argparse
+
+from repro import PolicySpec, WorkloadProfile, build_machine_for, get_policy
+
+POLICIES = ("baseline", "2x_il1", "emissary", "eip_46", "pdip_44",
+            "pdip_44_emissary")
+
+
+def build_profile(args: argparse.Namespace) -> WorkloadProfile:
+    return WorkloadProfile(
+        name="custom-service",
+        description="user-defined service model",
+        num_functions=args.functions,
+        num_handlers=args.handlers,
+        num_leaves=args.leaves,
+        call_depth=args.depth,
+        call_sites_mean=args.fanout,
+        leaf_call_frac=args.library_hotness,
+        handler_zipf_alpha=args.skew,
+        callee_zipf_alpha=args.skew,
+        backend_stall_prob=args.backend_stalls,
+        data_access_prob=args.data_rate,
+        data_lines=args.data_lines,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--functions", type=int, default=900,
+                        help="total functions in the binary")
+    parser.add_argument("--handlers", type=int, default=48,
+                        help="top-level request handlers")
+    parser.add_argument("--leaves", type=int, default=50,
+                        help="shared leaf/library functions (hot code)")
+    parser.add_argument("--depth", type=int, default=6,
+                        help="software-stack depth (call-graph tiers)")
+    parser.add_argument("--fanout", type=float, default=1.9,
+                        help="call sites per function")
+    parser.add_argument("--library-hotness", type=float, default=0.12,
+                        help="fraction of calls into shared leaves")
+    parser.add_argument("--skew", type=float, default=0.2,
+                        help="request-popularity Zipf alpha (0=flat)")
+    parser.add_argument("--backend-stalls", type=float, default=0.10)
+    parser.add_argument("--data-rate", type=float, default=0.06)
+    parser.add_argument("--data-lines", type=int, default=2500)
+    parser.add_argument("--instructions", type=int, default=250_000)
+    parser.add_argument("--warmup", type=int, default=80_000)
+    args = parser.parse_args()
+
+    profile = build_profile(args)
+    print(f"Workload: {profile.num_functions} functions, "
+          f"{profile.num_handlers} handlers, depth {profile.call_depth}")
+
+    results = {}
+    for policy in POLICIES:
+        machine = build_machine_for(profile, get_policy(policy), seed=1)
+        results[policy] = machine.run(args.instructions, warmup=args.warmup)
+        st = results[policy]
+        print(f"  {policy:18s} IPC={st.ipc:.3f} L1I-MPKI={st.l1i_mpki:6.1f} "
+              f"PPKI={st.ppki:5.1f}")
+
+    base = results["baseline"]
+    td = base.topdown
+    print(f"\nDiagnosis: {td['frontend_bound'] * 100:.0f}% of issue slots are "
+          f"front-end bound;")
+    print(f"{base.fec_line_fraction * 100:.0f}% of lines are front-end "
+          f"critical and cause "
+          f"{base.fec_starvation_fraction * 100:.0f}% of decode starvation.")
+    print("\nWhat each mitigation buys (IPC speedup over FDIP):")
+    for policy in POLICIES[1:]:
+        gain = (results[policy].ipc / base.ipc - 1) * 100
+        print(f"  {policy:18s} {gain:+.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Dissect where a decoupled front end loses its cycles.
+
+Walks one workload through the machine and breaks the result down the
+way Sections 2-4 of the paper reason: top-down slots, the resteer mix
+(conditional vs indirect vs BTB miss), how much decode starvation the
+FEC minority causes, and what an oracle that hides every FEC miss
+(FEC-Ideal) would recover. This is the analysis that motivates building
+a priority-directed prefetcher in the first place.
+
+Usage::
+
+    python examples/frontend_anatomy.py [--benchmark NAME]
+"""
+
+import argparse
+
+from repro import build_machine, get_policy, get_profile
+from repro.simulator.probe import TimelineProbe
+from repro.workloads.generator import generate_layout
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="tomcat")
+    parser.add_argument("--instructions", type=int, default=250_000)
+    parser.add_argument("--warmup", type=int, default=80_000)
+    args = parser.parse_args()
+
+    profile = get_profile(args.benchmark)
+    layout = generate_layout(profile, seed=1)
+    print(f"{args.benchmark}: {len(layout.functions)} functions, "
+          f"{layout.footprint_lines()} code lines "
+          f"({layout.footprint_bytes() // 1024} KB text)")
+
+    machine = build_machine(layout, profile, get_policy("baseline"), seed=1)
+    machine.probe = probe = TimelineProbe(sample_every=50)
+    stats = machine.run(args.instructions, warmup=args.warmup)
+
+    print(f"\nIPC {stats.ipc:.3f} over {stats.cycles:,} cycles")
+    print("\nTop-down issue slots (Figure 1 style):")
+    for bucket, frac in stats.topdown.items():
+        bar = "#" * int(frac * 50)
+        print(f"  {bucket:16s} {frac * 100:5.1f}%  {bar}")
+
+    print("\nCache pressure (Figure 9 style):")
+    print(f"  L1-I MPKI {stats.l1i_mpki:6.1f}   L2-I {stats.l2i_mpki:5.1f}   "
+          f"L2-D {stats.l2d_mpki:5.1f}   L3 {stats.l3_mpki:5.2f}")
+
+    ki = stats.instructions / 1000
+    print("\nResteer mix (what empties the FTQ):")
+    print(f"  conditional mispredicts {stats.resteers_cond / ki:6.2f} /kiloinstr")
+    print(f"  indirect mispredicts    {stats.resteers_indirect / ki:6.2f} /kiloinstr")
+    print(f"  BTB misses              {stats.resteers_btb_miss / ki:6.2f} /kiloinstr")
+    print(f"  return mispredicts      {stats.resteers_return / ki:6.2f} /kiloinstr")
+
+    print("\nFront-end criticality (Figure 4 style):")
+    print(f"  {stats.fec_line_fraction * 100:.1f}% of retired lines are FEC, "
+          f"causing {stats.fec_starvation_fraction * 100:.1f}% of "
+          f"decode starvation")
+
+    print("\nPipeline timeline (one sample per 50 cycles):")
+    print(probe.render())
+
+    ideal_machine = build_machine(layout, profile, get_policy("fec_ideal"),
+                                  seed=1)
+    ideal = ideal_machine.run(args.instructions, warmup=args.warmup)
+    print(f"\nFEC-Ideal oracle (every FEC miss at L1 latency): "
+          f"IPC {ideal.ipc:.3f} ({(ideal.ipc / stats.ipc - 1) * 100:+.2f}%)")
+    print("That gap is the room a front-end-criticality-aware prefetcher "
+          "like PDIP plays in.")
+
+
+if __name__ == "__main__":
+    main()

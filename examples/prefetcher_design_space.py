@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Explore the PDIP design space on one workload.
+
+Reproduces the paper's design-exploration methodology (Sections 5.1-5.3)
+interactively: sweep the table budget, the insertion probability, and the
+candidate filters on a single benchmark, and print how coverage,
+accuracy, pollution, and IPC move. This is the experiment you would run
+before committing silicon area to a PDIP table.
+
+Usage::
+
+    python examples/prefetcher_design_space.py [--benchmark NAME]
+"""
+
+import argparse
+
+from repro import PolicySpec, build_machine, get_profile
+from repro.simulator.policies import PDIP_ASSOC_FOR_KB, get_policy
+from repro.workloads.generator import generate_layout
+
+
+def run(layout, profile, spec, instructions, warmup, seed=1):
+    machine = build_machine(layout, profile, spec, seed=seed)
+    stats = machine.run(instructions, warmup=warmup)
+    return machine, stats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="cassandra")
+    parser.add_argument("--instructions", type=int, default=250_000)
+    parser.add_argument("--warmup", type=int, default=80_000)
+    args = parser.parse_args()
+
+    profile = get_profile(args.benchmark)
+    layout = generate_layout(profile, seed=1)
+    _, base = run(layout, profile, get_policy("baseline"),
+                  args.instructions, args.warmup)
+    print(f"{args.benchmark}: baseline IPC {base.ipc:.3f}, "
+          f"L1I MPKI {base.l1i_mpki:.1f}\n")
+
+    header = (f"{'variant':34s} {'KB':>5s} {'spd%':>7s} {'PPKI':>6s} "
+              f"{'acc%':>5s} {'cov%':>5s} {'late%':>6s}")
+
+    print("Table budget sweep (512 sets, assoc 2..16):")
+    print(header)
+    for kb in (11, 22, 44, 87):
+        spec = PolicySpec(f"pdip_{kb}", "", pdip_kb=kb)
+        m, st = run(layout, profile, spec, args.instructions, args.warmup)
+        print(f"{'PDIP(%d)' % kb:34s} {m.prefetcher.storage_kb:5.1f} "
+              f"{(st.ipc / base.ipc - 1) * 100:+7.2f} {st.ppki:6.1f} "
+              f"{st.prefetch_accuracy * 100:5.0f} "
+              f"{st.fec_coverage * 100:5.0f} "
+              f"{st.prefetch_late_fraction * 100:6.0f}")
+
+    print("\nInsertion probability sweep (43.5 KB table):")
+    print(header)
+    for prob in (0.125, 0.25, 0.5, 1.0):
+        spec = PolicySpec("pdip_p", "", pdip_kb=44,
+                          pdip_overrides=dict(insert_prob=prob))
+        m, st = run(layout, profile, spec, args.instructions, args.warmup)
+        print(f"{'insert_prob=%g' % prob:34s} {m.prefetcher.storage_kb:5.1f} "
+              f"{(st.ipc / base.ipc - 1) * 100:+7.2f} {st.ppki:6.1f} "
+              f"{st.prefetch_accuracy * 100:5.0f} "
+              f"{st.fec_coverage * 100:5.0f} "
+              f"{st.prefetch_late_fraction * 100:6.0f}")
+
+    print("\nCandidate filter sweep (what qualifies for insertion):")
+    print(header)
+    filters = {
+        "high-cost + backend-stall (paper)": dict(),
+        "high-cost only": dict(require_backend_stall=False),
+        "all FEC lines": dict(require_high_cost=False,
+                              require_backend_stall=False),
+    }
+    for label, overrides in filters.items():
+        spec = PolicySpec("pdip_f", "", pdip_kb=44,
+                          pdip_overrides=overrides)
+        m, st = run(layout, profile, spec, args.instructions, args.warmup)
+        print(f"{label:34s} {m.prefetcher.storage_kb:5.1f} "
+              f"{(st.ipc / base.ipc - 1) * 100:+7.2f} {st.ppki:6.1f} "
+              f"{st.prefetch_accuracy * 100:5.0f} "
+              f"{st.fec_coverage * 100:5.0f} "
+              f"{st.prefetch_late_fraction * 100:6.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one server workload with and without PDIP.
+
+Runs the cassandra workload (the paper's headline benchmark) on the FDIP
+baseline and with the PDIP(44) prefetcher, then prints the comparison the
+paper's abstract is about: how much of the front-end stall a
+priority-directed prefetcher recovers.
+
+Usage::
+
+    python examples/quickstart.py [--instructions N] [--benchmark NAME]
+"""
+
+import argparse
+
+from repro import BENCHMARK_NAMES, run_benchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="cassandra",
+                        choices=BENCHMARK_NAMES)
+    parser.add_argument("--instructions", type=int, default=200_000,
+                        help="measured instructions (default 200k)")
+    parser.add_argument("--warmup", type=int, default=60_000)
+    args = parser.parse_args()
+
+    print(f"Simulating {args.benchmark} "
+          f"({args.instructions:,} instructions after "
+          f"{args.warmup:,} warmup)...\n")
+
+    baseline = run_benchmark(args.benchmark, "baseline",
+                             instructions=args.instructions,
+                             warmup=args.warmup)
+    pdip = run_benchmark(args.benchmark, "pdip_44",
+                         instructions=args.instructions, warmup=args.warmup)
+
+    td = baseline.topdown
+    print("FDIP baseline:")
+    print(f"  IPC                 {baseline.ipc:.3f}")
+    print(f"  L1-I MPKI           {baseline.l1i_mpki:.1f}")
+    print(f"  front-end bound     {td['frontend_bound'] * 100:.1f}% of slots")
+    print(f"  decode starvation   {baseline.decode_starvation_cycles:,} cycles")
+    print(f"  FEC starvation      {baseline.fec_starvation_cycles:,} cycles")
+
+    speedup = (pdip.ipc / baseline.ipc - 1) * 100
+    fec_cut = (1 - pdip.fec_starvation_cycles
+               / max(1, baseline.fec_starvation_cycles)) * 100
+    print("\nWith PDIP (43.5 KB table):")
+    print(f"  IPC                 {pdip.ipc:.3f}  ({speedup:+.2f}%)")
+    print(f"  prefetches/kiloinstr {pdip.ppki:.1f}")
+    print(f"  prefetch accuracy   {pdip.prefetch_accuracy * 100:.0f}%")
+    print(f"  late prefetches     {pdip.prefetch_late_fraction * 100:.0f}%")
+    print(f"  FEC stalls cut by   {fec_cut:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

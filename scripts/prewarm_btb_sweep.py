@@ -1,0 +1,20 @@
+"""Pre-warm the result cache for the BTB-sweep figures (fig14/fig15)."""
+import time
+from repro.experiments.common import SWEEP_BENCHMARKS
+from repro.simulator.config import MachineConfig
+from repro.simulator.runner import run_benchmark
+
+POLICIES = ["baseline", "eip_46", "pdip_11", "pdip_44", "pdip_44_emissary"]
+SIZES = [4096, 65536]  # 8192 covered by the main grid
+
+t0 = time.time()
+for entries in SIZES:
+    config = MachineConfig(btb_entries=entries)
+    for bench in SWEEP_BENCHMARKS:
+        for pol in POLICIES:
+            t1 = time.time()
+            st = run_benchmark(bench, pol, config=config)
+            print(f"{time.time()-t0:7.0f}s btb={entries:6d} {bench:16s} "
+                  f"{pol:18s} IPC={st.ipc:.3f} ({time.time()-t1:.0f}s)",
+                  flush=True)
+print("DONE", time.time() - t0)

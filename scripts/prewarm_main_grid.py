@@ -1,0 +1,14 @@
+"""Pre-warm the result cache for the main figure grid."""
+import sys, time
+from repro.simulator.runner import run_benchmark, DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
+from repro.workloads.profiles import BENCHMARK_NAMES
+
+POLICIES = ["baseline","2x_il1","emissary","eip_46","eip_analytical","eip_46_emissary",
+            "pdip_11","pdip_22","pdip_44","pdip_87","pdip_44_emissary","pdip_44_zero_cost","fec_ideal"]
+t0=time.time()
+for bench in BENCHMARK_NAMES:
+    for pol in POLICIES:
+        t1=time.time()
+        st = run_benchmark(bench, pol)
+        print(f"{time.time()-t0:7.0f}s {bench:16s} {pol:18s} IPC={st.ipc:.3f} L1I={st.l1i_mpki:.1f} ({time.time()-t1:.0f}s)", flush=True)
+print("DONE", time.time()-t0)

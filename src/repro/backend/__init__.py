@@ -1,0 +1,15 @@
+"""Calibrated back-end occupancy model.
+
+The paper simulates a full Golden-Cove-class out-of-order back end; PDIP
+itself only needs three things from it: (1) retirement (so FEC lines can
+be qualified at retire), (2) the issue-queue-empty signal (the paper's
+"back-end also stalling" filter for high-cost FEC lines), and (3) enough
+back-pressure realism that front-end stalls convert into IPC loss at a
+believable rate. :class:`BackendModel` provides exactly that: a ROB-bound
+in-flight window, a retire-width drain with a stochastic stall term, and
+depth-based retirement latency.
+"""
+
+from repro.backend.model import BackendModel, InFlightBlock
+
+__all__ = ["BackendModel", "InFlightBlock"]

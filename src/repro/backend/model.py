@@ -1,0 +1,132 @@
+"""Back-end occupancy model: ROB window, retire drain, data-stall injection.
+
+Decoded blocks enter an in-flight FIFO; each instruction becomes eligible
+to retire ``depth`` cycles after decode (pipeline depth) and the back end
+drains up to ``retire_width`` instructions per cycle. Two stall sources
+are modelled:
+
+* a per-cycle stochastic stall (``stall_prob``) standing in for data
+  dependencies and L1-D misses that the detailed simulator would produce;
+* explicit stall windows injected by the data stream when an L2 data miss
+  exposes memory latency (how EMISSARY's L2 contention hurts dotty/tatp).
+
+Wrong-path blocks are tracked but never retire; a resteer squashes them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from repro.utils import derive_rng
+
+
+@dataclass
+class InFlightBlock:
+    """A decoded basic block occupying ROB slots."""
+
+    entry: object            # the FTQEntry that produced it
+    instructions: int
+    retired: int = 0
+    decode_cycle: int = 0
+    is_wrong_path: bool = False
+
+
+class BackendModel:
+    """ROB + retire model with stochastic and injected stalls."""
+
+    def __init__(self, rob_entries: int = 512, retire_width: int = 12,
+                 depth: int = 10, stall_prob: float = 0.10,
+                 issue_empty_threshold: int = 12, seed: int = 0):
+        self.rob_entries = rob_entries
+        self.retire_width = retire_width
+        self.depth = depth
+        self.stall_prob = stall_prob
+        self.issue_empty_threshold = issue_empty_threshold
+        self._rng = derive_rng(seed, "backend")
+        self._q: Deque[InFlightBlock] = deque()
+        self._occupancy = 0
+        self._stall_until = -1
+
+        self.retired_instructions = 0
+        self.squashed_instructions = 0
+        self.stall_cycles = 0
+
+    # -- admission ----------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of live entries."""
+        return self._occupancy
+
+    def free_slots(self) -> int:
+        """ROB slots still available."""
+        return self.rob_entries - self._occupancy
+
+    def admit(self, entry: object, instructions: int, cycle: int,
+              is_wrong_path: bool = False) -> bool:
+        """Admit a decoded block; False when the ROB cannot hold it."""
+        if instructions > self.free_slots():
+            return False
+        self._q.append(InFlightBlock(
+            entry=entry, instructions=instructions, decode_cycle=cycle,
+            is_wrong_path=is_wrong_path))
+        self._occupancy += instructions
+        return True
+
+    # -- stalls ------------------------------------------------------------
+    def inject_stall(self, cycle: int, duration: int) -> None:
+        """Block retirement until ``cycle + duration`` (data-miss exposure)."""
+        self._stall_until = max(self._stall_until, cycle + duration)
+
+    @property
+    def issue_queue_empty(self) -> bool:
+        """The paper's back-end-starving signal (issue queue drained)."""
+        return self._occupancy < self.issue_empty_threshold
+
+    # -- retirement ----------------------------------------------------------
+    def tick(self, cycle: int,
+             on_retire_block: Optional[Callable[[object], None]] = None) -> int:
+        """Retire up to ``retire_width`` instructions; returns the count.
+
+        ``on_retire_block`` fires once per block whose *last* instruction
+        retires this cycle (where FEC qualification happens).
+        """
+        if cycle < self._stall_until or self._rng.random() < self.stall_prob:
+            self.stall_cycles += 1
+            return 0
+        budget = self.retire_width
+        retired = 0
+        while budget > 0 and self._q:
+            blk = self._q[0]
+            if cycle < blk.decode_cycle + self.depth:
+                break
+            if blk.is_wrong_path:
+                # wrong-path blocks never retire; they wait for the squash
+                break
+            take = min(budget, blk.instructions - blk.retired)
+            blk.retired += take
+            budget -= take
+            retired += take
+            self._occupancy -= take
+            if blk.retired == blk.instructions:
+                self._q.popleft()
+                if on_retire_block is not None:
+                    on_retire_block(blk.entry)
+        self.retired_instructions += retired
+        return retired
+
+    # -- squash ---------------------------------------------------------------
+    def squash_wrong_path(self) -> int:
+        """Drop every wrong-path block (front-end resteer reached execute)."""
+        squashed = 0
+        kept: List[InFlightBlock] = []
+        for blk in self._q:
+            if blk.is_wrong_path:
+                squashed += blk.instructions - blk.retired
+                self._occupancy -= blk.instructions - blk.retired
+            else:
+                kept.append(blk)
+        self._q = deque(kept)
+        self.squashed_instructions += squashed
+        return squashed

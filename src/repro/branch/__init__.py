@@ -1,0 +1,31 @@
+"""Branch prediction unit: TAGE, ITTAGE, BTB, and RAS.
+
+The paper's baseline (Table 1) uses a 64 KB TAGE conditional predictor, a
+64 KB ITTAGE indirect predictor, and an 8K-entry BTB. In a decoupled
+front end the BTB doubles as the *branch discovery* mechanism: a taken
+branch that misses the BTB is invisible to the instruction address
+generator, which keeps fetching sequentially until pre-decode detects the
+bogus path and resteers — one of the two resteer categories PDIP uses as
+prefetch triggers.
+"""
+
+from repro.branch.btb import BTB, BTBEntry
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.tage import TAGEPredictor
+from repro.branch.ittage import ITTAGEPredictor
+from repro.branch.bpu import (
+    BranchPredictionUnit,
+    BlockPrediction,
+    MispredictKind,
+)
+
+__all__ = [
+    "BTB",
+    "BTBEntry",
+    "ReturnAddressStack",
+    "TAGEPredictor",
+    "ITTAGEPredictor",
+    "BranchPredictionUnit",
+    "BlockPrediction",
+    "MispredictKind",
+]

@@ -1,0 +1,99 @@
+"""Set-associative Branch Target Buffer.
+
+Only *taken* branches are inserted (classic BTB discipline): a
+never-taken conditional never occupies an entry. The BTB stores the
+branch kind so the IAG knows whether to consult TAGE (conditional),
+ITTAGE (indirect), or the RAS (return).
+
+Storage accounting follows the paper's Table 1, which prices an 8K-entry
+BTB at 119.01 KB: per entry we count a partial tag, the target address,
+kind bits, and LRU state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class BTBEntry:
+    """One BTB entry: tag, predicted target, and branch kind."""
+
+    tag: int
+    target: int
+    kind: str  # "cond" | "direct" | "indirect" | "call" | "indirect_call" | "return"
+    lru: int = 0
+
+
+class BTB:
+    """Set-associative branch target buffer indexed by branch PC."""
+
+    #: storage per entry in bits (tag + 38-bit target + 3 kind + LRU),
+    #: chosen so that 8K entries come out at ~119 KB like Table 1.
+    BITS_PER_ENTRY = 122
+
+    def __init__(self, num_entries: int = 8192, assoc: int = 8):
+        if num_entries % assoc != 0:
+            raise ValueError("entries must be a multiple of associativity")
+        self.num_entries = num_entries
+        self.assoc = assoc
+        self.num_sets = num_entries // assoc
+        self._sets: Dict[int, Dict[int, BTBEntry]] = {}
+        self._clock = 0
+        self.lookups = 0
+        self.hits = 0
+        self.inserts = 0
+        self.evictions = 0
+
+    # -- indexing ----------------------------------------------------------
+    def _index(self, pc: int) -> "tuple[int, int]":
+        set_idx = (pc >> 2) % self.num_sets
+        tag = (pc >> 2) // self.num_sets
+        return set_idx, tag
+
+    # -- operations ----------------------------------------------------------
+    def lookup(self, pc: int) -> Optional[BTBEntry]:
+        """Return the entry for ``pc`` or None on a miss; updates LRU."""
+        self.lookups += 1
+        set_idx, tag = self._index(pc)
+        entry = self._sets.get(set_idx, {}).get(tag)
+        if entry is None:
+            return None
+        self._clock += 1
+        entry.lru = self._clock
+        self.hits += 1
+        return entry
+
+    def insert(self, pc: int, target: int, kind: str) -> None:
+        """Insert/update the taken branch at ``pc``."""
+        set_idx, tag = self._index(pc)
+        ways = self._sets.setdefault(set_idx, {})
+        self._clock += 1
+        if tag in ways:
+            entry = ways[tag]
+            entry.target = target
+            entry.kind = kind
+            entry.lru = self._clock
+            return
+        if len(ways) >= self.assoc:
+            victim = min(ways, key=lambda t: ways[t].lru)
+            del ways[victim]
+            self.evictions += 1
+        ways[tag] = BTBEntry(tag=tag, target=target, kind=kind, lru=self._clock)
+        self.inserts += 1
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def storage_bits(self) -> int:
+        """Storage footprint in bits."""
+        return self.num_entries * self.BITS_PER_ENTRY
+
+    @property
+    def storage_kb(self) -> float:
+        """Storage footprint in kilobytes."""
+        return self.storage_bits / 8.0 / 1024.0
+
+    def hit_rate(self) -> float:
+        """Hits / lookups (0 when never looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,65 @@
+"""Gshare conditional branch predictor (McFarling, 1993).
+
+A deliberately simpler alternative to TAGE, kept as a BPU-sensitivity
+baseline: Section 7.6 of the paper argues that, for large-code-footprint
+workloads, the BTB budget — not conditional-predictor sophistication —
+bounds front-end performance, and that PDIP's gains survive across BPU
+quality levels. Swapping gshare in for TAGE (``BranchPredictionUnit``
+accepts any object with ``predict``/``update``) lets the reproduction
+test that claim directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class GsharePredictor:
+    """Global-history-XOR-PC indexed table of 2-bit counters."""
+
+    def __init__(self, log_entries: int = 14, history_bits: int = 12):
+        if log_entries <= 0 or history_bits < 0:
+            raise ValueError("bad gshare geometry")
+        self.log_entries = log_entries
+        self.history_bits = history_bits
+        self._table: List[int] = [0] * (1 << log_entries)  # [-2, 1]
+        self._history = 0
+        self.predictions = 0
+        self.mispredicts = 0
+
+    def _index(self, pc: int) -> int:
+        mask = (1 << self.log_entries) - 1
+        hist = self._history & ((1 << self.history_bits) - 1)
+        return ((pc >> 2) ^ hist) & mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at ``pc``."""
+        self.predictions += 1
+        return self._table[self._index(pc)] >= 0
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        """Train on the resolved outcome; must follow the matching predict()."""
+        if predicted != taken:
+            self.mispredicts += 1
+        idx = self._index(pc)
+        ctr = self._table[idx]
+        if taken:
+            self._table[idx] = min(ctr + 1, 1)
+        else:
+            self._table[idx] = max(ctr - 1, -2)
+        self._history = ((self._history << 1) | (1 if taken else 0)) \
+            & ((1 << self.history_bits) - 1)
+
+    def mispredict_rate(self) -> float:
+        """Mispredicts / predictions (0 when unused)."""
+        return self.mispredicts / self.predictions if self.predictions else 0.0
+
+    @property
+    def storage_bits(self) -> int:
+        """Storage footprint in bits (2-bit counters)."""
+        return (1 << self.log_entries) * 2
+
+    @property
+    def storage_kb(self) -> float:
+        """Storage footprint in kilobytes."""
+        return self.storage_bits / 8.0 / 1024.0

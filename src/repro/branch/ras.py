@@ -1,0 +1,56 @@
+"""Return address stack.
+
+A fixed-depth circular stack: pushes beyond capacity overwrite the oldest
+entry, so very deep call chains cause (realistic, rare) return
+mispredicts. The IAG keeps the RAS synchronized with the correct path;
+wrong-path excursions use their own speculative stack copy and never
+corrupt this one (a simplification — real hardware checkpoints the RAS
+top on every prediction, recovering almost as precisely).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Circular return-address stack of fixed depth."""
+
+    def __init__(self, depth: int = 64):
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._buf: List[Optional[int]] = [None] * depth
+        self._top = 0        # index of next push slot
+        self._count = 0      # live entries (<= depth)
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_addr: int) -> None:
+        """Push a return address."""
+        self._buf[self._top] = return_addr
+        self._top = (self._top + 1) % self.depth
+        self._count = min(self._count + 1, self.depth)
+        self.pushes += 1
+
+    def pop(self) -> Optional[int]:
+        """Pop and return the predicted return address (None if empty)."""
+        self.pops += 1
+        if self._count == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self.depth
+        self._count -= 1
+        addr = self._buf[self._top]
+        self._buf[self._top] = None
+        return addr
+
+    def peek(self) -> Optional[int]:
+        """Top of stack without popping (None if empty)."""
+        if self._count == 0:
+            return None
+        return self._buf[(self._top - 1) % self.depth]
+
+    def __len__(self) -> int:
+        return self._count

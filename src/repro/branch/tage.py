@@ -1,0 +1,239 @@
+"""TAGE conditional branch predictor (Seznec & Michaud, JILP 2006).
+
+A bimodal base predictor plus ``num_tables`` partially-tagged tables
+indexed with geometrically increasing global-history lengths. Prediction
+comes from the longest-history matching table (the *provider*); the next
+longest match is the alternate. Allocation on mispredict follows the
+standard policy (allocate in one longer-history table with a usefulness
+counter of 0), with periodic usefulness aging.
+
+Histories are folded incrementally (:class:`FoldedHistory`) so each
+prediction costs O(num_tables), independent of history length.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.utils import derive_rng
+
+
+class FoldedHistory:
+    """Incrementally-folded global history register.
+
+    Maintains ``fold(h[0:length]) -> compressed_bits`` under single-bit
+    shifts in O(1): when a new outcome bit enters and the bit that falls
+    off the end of the window leaves, the folded register is rotated and
+    both bits are XORed in at the right positions.
+    """
+
+    def __init__(self, length: int, compressed_bits: int):
+        self.length = length
+        self.bits = compressed_bits
+        self.value = 0
+        self._out_pos = length % compressed_bits
+
+    def update(self, new_bit: int, old_bit: int) -> None:
+        # classic CBP folded-history update: shift in the new bit, cancel
+        # the outgoing bit at its folded position, then wrap the bit that
+        # overflowed past ``bits`` back into position 0 (the rotation that
+        # makes this a pure function of the last ``length`` bits)
+        """Advance the folded register by one history bit."""
+        mask = (1 << self.bits) - 1
+        value = (self.value << 1) | new_bit
+        value ^= old_bit << self._out_pos
+        value ^= value >> self.bits
+        self.value = value & mask
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.ctr = 0      # signed 3-bit counter in [-4, 3]; >= 0 means taken
+        self.useful = 0   # 2-bit usefulness
+
+
+class TAGEPredictor:
+    """TAGE with a bimodal base and geometric tagged tables."""
+
+    def __init__(self, num_tables: int = 8, log_entries: int = 10,
+                 min_history: int = 4, max_history: int = 160,
+                 tag_bits: int = 11, log_base_entries: int = 13,
+                 seed: int = 0):
+        self.num_tables = num_tables
+        self.log_entries = log_entries
+        self.tag_bits = tag_bits
+        self.log_base_entries = log_base_entries
+        self._rng = derive_rng(seed, "tage")
+
+        # geometric history lengths
+        self.hist_lens: List[int] = []
+        for i in range(num_tables):
+            if num_tables == 1:
+                h = min_history
+            else:
+                ratio = (max_history / min_history) ** (1.0 / (num_tables - 1))
+                h = int(round(min_history * (ratio ** i)))
+            self.hist_lens.append(max(1, h))
+
+        self._base = [0] * (1 << log_base_entries)  # 2-bit counters in [-2,1]
+        self._tables: List[List[Optional[_TaggedEntry]]] = [
+            [None] * (1 << log_entries) for _ in range(num_tables)
+        ]
+        # global history as a list-backed shift register (most recent = end)
+        self._ghist = [0] * (max(self.hist_lens) + 1)
+        self._idx_fold = [FoldedHistory(h, log_entries) for h in self.hist_lens]
+        self._tag_fold1 = [FoldedHistory(h, tag_bits) for h in self.hist_lens]
+        self._tag_fold2 = [FoldedHistory(h, tag_bits - 1) for h in self.hist_lens]
+
+        self._tick = 0  # usefulness aging clock
+        self.predictions = 0
+        self.mispredicts = 0
+
+        # per-prediction scratch (filled by predict, consumed by update)
+        self._provider: Optional[int] = None
+        self._provider_idx = 0
+        self._alt_pred = False
+        self._provider_pred = False
+        self._base_idx = 0
+
+    # -- indexing -----------------------------------------------------------
+    def _index(self, pc: int, table: int) -> int:
+        mask = (1 << self.log_entries) - 1
+        h = self._idx_fold[table].value
+        return (pc ^ (pc >> self.log_entries) ^ h) & mask
+
+    def _tag(self, pc: int, table: int) -> int:
+        mask = (1 << self.tag_bits) - 1
+        return (pc ^ self._tag_fold1[table].value
+                ^ (self._tag_fold2[table].value << 1)) & mask
+
+    # -- prediction -----------------------------------------------------------
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at ``pc``."""
+        self.predictions += 1
+        self._base_idx = (pc >> 2) & ((1 << self.log_base_entries) - 1)
+        base_pred = self._base[self._base_idx] >= 0
+
+        provider = None
+        provider_idx = 0
+        alt = base_pred
+        provider_pred = base_pred
+        for t in range(self.num_tables - 1, -1, -1):
+            idx = self._index(pc, t)
+            entry = self._tables[t][idx]
+            if entry is not None and entry.tag == self._tag(pc, t):
+                if provider is None:
+                    provider = t
+                    provider_idx = idx
+                    provider_pred = entry.ctr >= 0
+                else:
+                    alt = entry.ctr >= 0
+                    break
+        self._provider = provider
+        self._provider_idx = provider_idx
+        self._alt_pred = alt if provider is not None else base_pred
+        self._provider_pred = provider_pred
+        return provider_pred if provider is not None else base_pred
+
+    # -- update ---------------------------------------------------------------
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        """Train on the resolved outcome; must follow the matching predict()."""
+        if predicted != taken:
+            self.mispredicts += 1
+        provider = self._provider
+        # provider / base counter update
+        if provider is not None:
+            entry = self._tables[provider][self._provider_idx]
+            if entry is not None:
+                entry.ctr = _sat_update(entry.ctr, taken, lo=-4, hi=3)
+                if self._provider_pred != self._alt_pred:
+                    if self._provider_pred == taken:
+                        entry.useful = min(entry.useful + 1, 3)
+                    else:
+                        entry.useful = max(entry.useful - 1, 0)
+        else:
+            self._base[self._base_idx] = _sat_update(
+                self._base[self._base_idx], taken, lo=-2, hi=1)
+
+        # allocation on mispredict in a longer-history table
+        if predicted != taken:
+            start = (provider + 1) if provider is not None else 0
+            candidates = []
+            for t in range(start, self.num_tables):
+                idx = self._index(pc, t)
+                entry = self._tables[t][idx]
+                if entry is None or entry.useful == 0:
+                    candidates.append(t)
+            if candidates:
+                # prefer shorter histories with probability bias (classic TAGE)
+                t = candidates[0]
+                if len(candidates) > 1 and self._rng.random() < 0.33:
+                    t = candidates[1]
+                idx = self._index(pc, t)
+                entry = self._tables[t][idx]
+                if entry is None:
+                    entry = _TaggedEntry()
+                    self._tables[t][idx] = entry
+                entry.tag = self._tag(pc, t)
+                entry.ctr = 0 if taken else -1
+                entry.useful = 0
+            else:
+                for t in range(start, self.num_tables):
+                    idx = self._index(pc, t)
+                    entry = self._tables[t][idx]
+                    if entry is not None:
+                        entry.useful = max(entry.useful - 1, 0)
+
+        # periodic usefulness aging
+        self._tick += 1
+        if self._tick >= (1 << 18):
+            self._tick = 0
+            for table in self._tables:
+                for entry in table:
+                    if entry is not None:
+                        entry.useful >>= 1
+
+        self._shift_history(taken)
+
+    def _shift_history(self, taken: bool) -> None:
+        bit = 1 if taken else 0
+        self._ghist.append(bit)
+        for t in range(self.num_tables):
+            h = self.hist_lens[t]
+            old = self._ghist[-1 - h]
+            self._idx_fold[t].update(bit, old)
+            self._tag_fold1[t].update(bit, old)
+            self._tag_fold2[t].update(bit, old)
+        # bound the history buffer
+        max_h = max(self.hist_lens)
+        if len(self._ghist) > 4 * max_h:
+            del self._ghist[: len(self._ghist) - (max_h + 1)]
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def storage_bits(self) -> int:
+        """Storage footprint in bits."""
+        per_entry = 3 + 2 + self.tag_bits  # ctr + useful + tag
+        tagged = self.num_tables * (1 << self.log_entries) * per_entry
+        base = (1 << self.log_base_entries) * 2
+        return tagged + base
+
+    @property
+    def storage_kb(self) -> float:
+        """Storage footprint in kilobytes."""
+        return self.storage_bits / 8.0 / 1024.0
+
+    def mispredict_rate(self) -> float:
+        """Mispredicts / predictions (0 when unused)."""
+        return self.mispredicts / self.predictions if self.predictions else 0.0
+
+
+def _sat_update(ctr: int, taken: bool, lo: int, hi: int) -> int:
+    """Saturating signed counter update."""
+    if taken:
+        return min(ctr + 1, hi)
+    return max(ctr - 1, lo)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one benchmark under one policy and print its stats;
+* ``suite`` — run a benchmark x policy grid and print speedups;
+* ``figure`` — regenerate one paper figure/table by id (fig01..fig16,
+  tab01/tab04/tab05) or ``all``;
+* ``workload`` — characterize a benchmark's instruction stream;
+* ``trace`` — record a workload trace to a file, or replay one;
+* ``list`` — show the available benchmarks, policies, and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from repro.simulator.policies import POLICIES, get_policy
+from repro.simulator.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    run_benchmark,
+    run_suite,
+)
+from repro.utils import geomean
+from repro.workloads.profiles import BENCHMARK_NAMES, get_profile
+
+FIGURES = {
+    "fig01": "repro.experiments.fig01_topdown",
+    "fig03": "repro.experiments.fig03_prior_techniques",
+    "fig04": "repro.experiments.fig04_fec_fraction",
+    "fig09": "repro.experiments.fig09_mpki",
+    "fig10": "repro.experiments.fig10_speedup",
+    "fig11": "repro.experiments.fig11_late_prefetches",
+    "fig12": "repro.experiments.fig12_fec_stall_reduction",
+    "fig13": "repro.experiments.fig13_table_sensitivity",
+    "fig14": "repro.experiments.fig14_btb_sensitivity",
+    "fig15": "repro.experiments.fig15_storage_efficiency",
+    "fig16": "repro.experiments.fig16_trigger_distribution",
+    "tab01": "repro.experiments.tab01_config",
+    "tab04": "repro.experiments.tab04_ppki_accuracy",
+    "tab05": "repro.experiments.tab05_energy_area",
+    # extension (beyond the paper's figures)
+    "ext_related_work": "repro.experiments.ext_related_work",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PDIP (ASPLOS 2024) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one benchmark x policy")
+    p_run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p_run.add_argument("policy", choices=sorted(POLICIES))
+    _budget_args(p_run)
+
+    p_suite = sub.add_parser("suite", help="benchmark x policy grid")
+    p_suite.add_argument("--benchmarks", default="all",
+                         help="comma-separated names or 'all'")
+    p_suite.add_argument("--policies", default="baseline,pdip_44",
+                         help="comma-separated policy names")
+    _budget_args(p_suite)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
+    p_fig.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+
+    p_wl = sub.add_parser("workload", help="characterize a benchmark")
+    p_wl.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p_wl.add_argument("--instructions", type=int, default=200_000)
+    p_wl.add_argument("--seed", type=int, default=1)
+
+    p_tr = sub.add_parser("trace", help="record or replay a trace")
+    tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)
+    t_rec = tr_sub.add_parser("record")
+    t_rec.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    t_rec.add_argument("path", help="output trace file")
+    t_rec.add_argument("--blocks", type=int, default=50_000)
+    t_rec.add_argument("--seed", type=int, default=1)
+    t_rep = tr_sub.add_parser("replay")
+    t_rep.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    t_rep.add_argument("path", help="trace file to replay")
+    t_rep.add_argument("--policy", default="baseline",
+                       choices=sorted(POLICIES))
+    t_rep.add_argument("--instructions", type=int, default=100_000)
+    t_rep.add_argument("--warmup", type=int, default=20_000)
+    t_rep.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="show benchmarks, policies, figures")
+    return parser
+
+
+def _budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--instructions", type=int,
+                        default=DEFAULT_INSTRUCTIONS)
+    parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: one benchmark x policy."""
+    stats = run_benchmark(args.benchmark, args.policy,
+                          instructions=args.instructions,
+                          warmup=args.warmup, seed=args.seed,
+                          use_cache=not args.no_cache)
+    td = stats.topdown
+    print(f"{args.benchmark} / {args.policy}")
+    print(f"  IPC        {stats.ipc:.3f}")
+    print(f"  MPKI       L1I {stats.l1i_mpki:.1f}  L2I {stats.l2i_mpki:.1f}"
+          f"  L2D {stats.l2d_mpki:.1f}  L3 {stats.l3_mpki:.2f}")
+    print(f"  top-down   ret {td['retiring']:.0%}  fe {td['frontend_bound']:.0%}"
+          f"  bad-spec {td['bad_speculation']:.0%}"
+          f"  be {td['backend_bound']:.0%}")
+    if stats.prefetches_issued:
+        print(f"  prefetch   PPKI {stats.ppki:.1f}  "
+              f"accuracy {stats.prefetch_accuracy:.0%}  "
+              f"late {stats.prefetch_late_fraction:.0%}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    """``repro suite``: a benchmark x policy grid."""
+    benches = (list(BENCHMARK_NAMES) if args.benchmarks == "all"
+               else [b.strip() for b in args.benchmarks.split(",")])
+    policies = [p.strip() for p in args.policies.split(",")]
+    results = run_suite(policies, benchmarks=benches,
+                        instructions=args.instructions, warmup=args.warmup,
+                        seed=args.seed, verbose=True)
+    if "baseline" in policies:
+        print()
+        for policy in policies:
+            if policy == "baseline":
+                continue
+            ratios = [by[policy].ipc / by["baseline"].ipc
+                      for by in results.values()]
+            print(f"geomean speedup {policy}: "
+                  f"{(geomean(ratios) - 1) * 100:+.2f}%")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """``repro figure``: regenerate paper artifacts."""
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        module = importlib.import_module(FIGURES[name])
+        print(module.render(module.run()))
+        print()
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    """``repro workload``: characterize a benchmark."""
+    from repro.workloads.analysis import characterize, render
+
+    profile = get_profile(args.benchmark)
+    print(render(characterize(profile, instructions=args.instructions,
+                              seed=args.seed)))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: record or replay traces."""
+    from repro.workloads.generator import generate_layout
+    from repro.workloads.trace import TraceReplayer, record
+    from repro.workloads.walker import PathWalker
+
+    profile = get_profile(args.benchmark)
+    layout = generate_layout(profile, seed=args.seed)
+    if args.trace_command == "record":
+        walker = PathWalker(layout, seed=args.seed,
+                            indirect_noise=profile.indirect_noise)
+        with open(args.path, "w") as fh:
+            instructions = record(walker, args.blocks, fh,
+                                  workload=args.benchmark, seed=args.seed)
+        print(f"recorded {args.blocks} blocks ({instructions:,} "
+              f"instructions) to {args.path}")
+        return 0
+    # replay
+    from repro.simulator.policies import build_machine
+
+    with open(args.path) as fh:
+        replayer = TraceReplayer(layout, fh, loop=True)
+    machine = build_machine(layout, profile, get_policy(args.policy),
+                            seed=args.seed)
+    machine.walker = replayer
+    stats = machine.run(args.instructions, warmup=args.warmup)
+    print(f"replayed {args.path}: {stats.summary()}")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``repro list``: show the catalogs."""
+    print("benchmarks:")
+    for name in BENCHMARK_NAMES:
+        print(f"  {name:16s} {get_profile(name).description}")
+    print("\npolicies:")
+    for name in sorted(POLICIES):
+        print(f"  {name:18s} {POLICIES[name].description}")
+    print("\nfigures:", " ".join(sorted(FIGURES)))
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "suite": cmd_suite,
+    "figure": cmd_figure,
+    "workload": cmd_workload,
+    "trace": cmd_trace,
+    "list": cmd_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: run with env-controlled budgets and print."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""PDIP: the paper's primary contribution.
+
+Three pieces:
+
+* :class:`~repro.core.fec.FECClassifier` — retire-time qualification of
+  front-end-critical (FEC) lines: the line retired an instruction, missed
+  the L1-I, and exposed decode to starvation (Section 2.1), with the
+  high-cost (>10 starvation cycles) and back-end-stall annotations the
+  PDIP candidate filter uses (Section 5.3).
+* :class:`~repro.core.pdip_table.PDIPTable` — the 512-set associative
+  trigger→targets table with two targets per entry and a 4-bit
+  following-blocks mask (Sections 5.1, 5.4).
+* :class:`~repro.core.pdip.PDIPController` — trigger selection
+  (mispredicting branch block / last retired taken branch), probabilistic
+  insertion (0.25), FTQ-hooked lookup, and prefetch issue through the PQ.
+"""
+
+from repro.core.fec import FECClassifier, FECEvent, TriggerType
+from repro.core.pdip_table import PDIPTable, PDIP_TABLE_SETS
+from repro.core.pdip import PDIPConfig, PDIPController
+
+__all__ = [
+    "FECClassifier",
+    "FECEvent",
+    "TriggerType",
+    "PDIPTable",
+    "PDIP_TABLE_SETS",
+    "PDIPConfig",
+    "PDIPController",
+]

@@ -1,0 +1,19 @@
+"""Analytical SRAM area/energy model (the reproduction's McPAT stand-in).
+
+The paper runs McPAT to price the PDIP table against the core (Table 5).
+We model each SRAM structure from first principles — bit count, banking,
+and per-access energy constants calibrated to published 22 nm McPAT
+outputs — and report the same relative metrics: percentage increases in
+core energy and core area per PDIP configuration.
+"""
+
+from repro.energy.sram import SRAMModel, SRAMEstimate
+from repro.energy.model import CoreEnergyModel, PDIPOverhead, pdip_overheads
+
+__all__ = [
+    "SRAMModel",
+    "SRAMEstimate",
+    "CoreEnergyModel",
+    "PDIPOverhead",
+    "pdip_overheads",
+]

@@ -1,0 +1,85 @@
+"""First-order SRAM area / energy / leakage model.
+
+Constants approximate a 22 nm bulk process (the node McPAT's shipped
+configs are best calibrated at). The model is deliberately simple —
+area grows linearly in bits with a banking overhead that grows with
+associativity (wider tag match), dynamic energy grows with the bits read
+per access, leakage with total bits — because Table 5 only needs
+*relative* overheads against a fixed core budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: SRAM cell area, mm^2 per bit (≈0.1 um^2/bit cell + array overheads)
+AREA_MM2_PER_BIT = 2.0e-7
+
+#: per-access sense-amp / decoder floor, pJ (paid regardless of size)
+SENSE_BASE_PJ = 3.0
+
+#: banked tag-match energy coefficient; the comparator tree and way
+#: muxing grow superlinearly with associativity, which is what makes the
+#: paper's Table 5 energy column rise steeply 11->22 KB then flatten
+TAG_MATCH_PJ = 0.9
+
+#: payload read energy, pJ per bit of the selected way
+DYN_PJ_PER_BIT = 0.004
+
+#: leakage power, mW per KB
+LEAK_MW_PER_KB = 0.015
+
+
+@dataclass
+class SRAMEstimate:
+    """Area and per-access energy for one structure."""
+
+    name: str
+    bits: int
+    area_mm2: float
+    read_energy_pj: float
+    leakage_mw: float
+
+    @property
+    def size_kb(self) -> float:
+        """Size in kilobytes."""
+        return self.bits / 8.0 / 1024.0
+
+
+class SRAMModel:
+    """Estimate a set-associative SRAM structure."""
+
+    def __init__(self, name: str, num_sets: int, assoc: int,
+                 payload_bits_per_way: int, tag_bits: int):
+        if num_sets <= 0 or assoc <= 0:
+            raise ValueError("num_sets and assoc must be positive")
+        self.name = name
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.payload_bits_per_way = payload_bits_per_way
+        self.tag_bits = tag_bits
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage bits of the array."""
+        return self.num_sets * self.assoc * (self.payload_bits_per_way
+                                             + self.tag_bits)
+
+    def estimate(self) -> SRAMEstimate:
+        """Compute the area/energy/leakage estimate."""
+        import math
+
+        bits = self.total_bits
+        # banking/peripheral overhead grows mildly with associativity
+        periph = 1.15 + 0.02 * self.assoc
+        area = bits * AREA_MM2_PER_BIT * periph
+        # a read pays the sense/decoder floor, a tag-match tree that grows
+        # superlinearly with the ways compared, and the selected way's
+        # payload bits
+        log_assoc = math.log2(max(2, self.assoc))
+        read_pj = (SENSE_BASE_PJ
+                   + TAG_MATCH_PJ * log_assoc * log_assoc
+                   + self.payload_bits_per_way * DYN_PJ_PER_BIT)
+        leak = (bits / 8.0 / 1024.0) * LEAK_MW_PER_KB
+        return SRAMEstimate(name=self.name, bits=bits, area_mm2=area,
+                            read_energy_pj=read_pj, leakage_mw=leak)

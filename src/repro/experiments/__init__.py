@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Every driver exposes ``run(...) -> dict`` returning the figure's series
+keyed the way the paper labels them, and ``render(result) -> str``
+producing the text table the benchmark harness prints. Budgets come from
+``REPRO_INSTRUCTIONS`` / ``REPRO_WARMUP`` / ``REPRO_BENCHMARKS``
+environment variables when set (see :mod:`repro.experiments.common`).
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

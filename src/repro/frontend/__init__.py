@@ -1,0 +1,14 @@
+"""Decoupled front-end components: FTQ and prefetch queue.
+
+The Fetch Target Queue decouples the instruction address generator (BPU
+walking the predicted path) from the instruction fetch unit. Every entry
+is one basic block; enqueuing an entry triggers the FDIP prefetch of its
+cache lines, so a full FTQ gives each miss up to FTQ-depth blocks of lead
+time — which is exactly why only resteer-adjacent misses stall the
+machine, the observation PDIP is built on.
+"""
+
+from repro.frontend.ftq import FTQ, FTQEntry
+from repro.frontend.prefetch_queue import PrefetchQueue
+
+__all__ = ["FTQ", "FTQEntry", "PrefetchQueue"]

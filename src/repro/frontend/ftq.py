@@ -1,0 +1,127 @@
+"""Fetch Target Queue.
+
+A FIFO of basic-block fetch targets produced by the IAG. Each entry
+remembers everything the later pipeline stages and the FEC classifier
+need: which lines the block spans, the per-line readiness from the FDIP
+prefetch, whether the block sits on a wrong path, how close behind a
+resteer it was enqueued, and the decode-starvation cycles it caused while
+parked at the head.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.branch.bpu import MispredictKind
+from repro.workloads.layout import BasicBlock
+
+
+@dataclass
+class FTQEntry:
+    """One basic block queued for fetch."""
+
+    block: BasicBlock
+    lines: List[int]
+    enqueue_cycle: int
+    is_wrong_path: bool = False
+    #: actual control-flow outcome (meaningless on the wrong path)
+    taken: bool = False
+    target_addr: int = 0
+    #: resteer verdict the BPU issued for this block
+    mispredict: MispredictKind = MispredictKind.NONE
+    #: wrong-path start address when mispredicted
+    predicted_target: Optional[int] = None
+    #: the resteer this entry was enqueued behind: kind, trigger block
+    #: line, and how many entries were enqueued since it (the "wake"
+    #: distance). Recorded at enqueue — by retirement several newer
+    #: resteers may have happened.
+    resteer_kind: Optional[MispredictKind] = None
+    resteer_trigger_line: Optional[int] = None
+    entries_since_resteer: int = 1 << 30
+    #: per-line fill readiness recorded at FDIP-prefetch (enqueue) time
+    line_ready: Dict[int, int] = field(default_factory=dict)
+    #: lines whose FDIP fill could not start (MSHRs exhausted); the IFU
+    #: issues them as demand accesses when the entry reaches the head
+    deferred_lines: List[int] = field(default_factory=list)
+    #: lines that newly missed the L1-I when this entry was enqueued
+    missed_lines: List[int] = field(default_factory=list)
+    #: lines whose fill was still pending when the FDIP stream touched them
+    pending_lines: List[int] = field(default_factory=list)
+    #: decode-starvation cycles charged to this entry while at the head
+    starvation_cycles: int = 0
+    #: True if the back end drained (issue queue empty) during that wait
+    backend_starved: bool = False
+
+    @property
+    def ready_cycle(self) -> int:
+        """Cycle at which every *initiated* line fill completes.
+
+        Meaningless while ``deferred_lines`` is non-empty — the IFU must
+        issue those before the entry can be considered ready.
+        """
+        if not self.line_ready:
+            return self.enqueue_cycle
+        return max(self.line_ready.values())
+
+    @property
+    def incurred_miss(self) -> bool:
+        """True if any of the entry's lines missed or merged."""
+        return bool(self.missed_lines) or bool(self.pending_lines)
+
+
+class FTQ:
+    """Bounded FIFO of :class:`FTQEntry` (default depth 24, like Table 1)."""
+
+    def __init__(self, depth: int = 24):
+        if depth <= 0:
+            raise ValueError("FTQ depth must be positive")
+        self.depth = depth
+        self._q: Deque[FTQEntry] = deque()
+        self.enqueues = 0
+        self.flushes = 0
+        self.flushed_entries = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        """True when the queue is at capacity."""
+        return len(self._q) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        """True when the queue holds nothing."""
+        return not self._q
+
+    def push(self, entry: FTQEntry) -> None:
+        """Push a return address."""
+        if self.full:
+            raise RuntimeError("push on full FTQ")
+        self._q.append(entry)
+        self.enqueues += 1
+
+    def head(self) -> Optional[FTQEntry]:
+        """Oldest entry without removing it (None if empty)."""
+        return self._q[0] if self._q else None
+
+    def pop(self) -> FTQEntry:
+        """Remove and return the oldest entry."""
+        return self._q.popleft()
+
+    def flush(self) -> int:
+        """Drop every queued entry (front-end resteer); returns the count."""
+        n = len(self._q)
+        self._q.clear()
+        self.flushes += 1
+        self.flushed_entries += n
+        return n
+
+    def occupancy(self) -> int:
+        """Number of live entries."""
+        return len(self._q)
+
+    def __iter__(self):
+        return iter(self._q)

@@ -1,0 +1,67 @@
+"""Prefetch Queue (PQ).
+
+Buffers prefetch requests from PDIP/EIP between the prefetcher and the
+L1-I, enforcing the paper's demand-priority rules (Section 5): a request
+is dropped if the PQ is full; when serviced, it probes the L1-I and only
+forwards to the L2 on a probe miss and only while enough MSHRs remain
+free for demand fetches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class PrefetchQueue:
+    """Bounded FIFO of prefetch line addresses (Table 1: 40 entries)."""
+
+    def __init__(self, hierarchy: MemoryHierarchy, capacity: int = 40,
+                 issue_width: int = 2, mshr_reserve: int = 2):
+        self.hierarchy = hierarchy
+        self.capacity = capacity
+        self.issue_width = issue_width
+        self.mshr_reserve = mshr_reserve
+        self._q: Deque[int] = deque()
+        self._queued = set()
+        self.requests = 0
+        self.dropped_full = 0
+        self.issued = 0
+        self.filtered_resident = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def request(self, line: int) -> bool:
+        """Enqueue a prefetch for ``line``; False if dropped (PQ full/dup)."""
+        self.requests += 1
+        if line in self._queued:
+            return False
+        if len(self._q) >= self.capacity:
+            self.dropped_full += 1
+            return False
+        self._q.append(line)
+        self._queued.add(line)
+        return True
+
+    def tick(self, cycle: int) -> int:
+        """Service up to ``issue_width`` queued prefetches; returns count issued."""
+        issued = 0
+        for _ in range(min(self.issue_width, len(self._q))):
+            line = self._q.popleft()
+            self._queued.discard(line)
+            if self.hierarchy.l1i.probe(line):
+                self.filtered_resident += 1
+                continue
+            if self.hierarchy.prefetch_instruction(line, cycle,
+                                                   mshr_reserve=self.mshr_reserve):
+                issued += 1
+                self.issued += 1
+        return issued
+
+    def flush(self) -> None:
+        """Drop all queued requests."""
+        self._q.clear()
+        self._queued.clear()

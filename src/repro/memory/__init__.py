@@ -1,0 +1,30 @@
+"""Cache hierarchy: L1-I, unified L2, shared L3 (Table 1 geometry).
+
+Includes the EMISSARY front-end-criticality-aware L2 replacement policy
+(Nagendra et al., ISCA '23) that the paper pairs PDIP with, an MSHR model
+(prefetches yield to demand traffic), per-line prefetch accounting
+(useful / late / useless), and the FEC-Ideal latency override used for
+the paper's oracle configuration.
+"""
+
+from repro.memory.cache import AccessResult, Cache, CacheLineState
+from repro.memory.replacement import (
+    EmissaryPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+)
+from repro.memory.hierarchy import (
+    InstructionFetchResult,
+    MemoryHierarchy,
+)
+
+__all__ = [
+    "Cache",
+    "CacheLineState",
+    "AccessResult",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "EmissaryPolicy",
+    "MemoryHierarchy",
+    "InstructionFetchResult",
+]

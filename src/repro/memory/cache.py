@@ -1,0 +1,157 @@
+"""Set-associative cache with latency-tracked fills and MSHR accounting.
+
+Fills allocate immediately with a future ``ready_cycle`` (the standard
+trace-simulator simplification of a two-phase MSHR): a line can be
+*resident but pending*. An access to a pending line merges into the
+outstanding fill instead of creating a new miss. The MSHR occupancy at a
+cycle is the number of pending fills, which is what the prefetch queue
+checks before injecting prefetches (the paper's demand-priority rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.memory.replacement import LRUPolicy, ReplacementPolicy
+
+
+@dataclass
+class CacheLineState:
+    """Per-line metadata."""
+
+    tag: int
+    ready_cycle: int = 0          # fill completion time; <= now means resident
+    lru: int = 0
+    p_bit: bool = False           # EMISSARY priority bit
+    is_instruction: bool = True
+    #: fill source: "fetch" (demand/FDIP stream), "prefetch" (PDIP/EIP PQ)
+    source: str = "fetch"
+    #: True until the first demand access after a prefetch fill
+    unused_prefetch: bool = False
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool                 # line was resident (possibly still pending)
+    ready_cycle: int          # when the data is available
+    pending: bool = False     # hit on an in-flight fill (MSHR merge)
+    evicted_line: Optional[int] = None
+    evicted_state: Optional[CacheLineState] = None
+
+
+class Cache:
+    """One cache level. Addresses are *line numbers* (byte addr >> 6)."""
+
+    def __init__(self, name: str, size_kb: int, assoc: int,
+                 line_size: int = 64, mshrs: int = 16,
+                 policy: Optional[ReplacementPolicy] = None):
+        num_lines = size_kb * 1024 // line_size
+        if num_lines % assoc != 0:
+            raise ValueError("%s: lines %d not divisible by assoc %d"
+                             % (name, num_lines, assoc))
+        self.name = name
+        self.size_kb = size_kb
+        self.assoc = assoc
+        self.num_sets = num_lines // assoc
+        self.mshrs = mshrs
+        self.policy = policy if policy is not None else LRUPolicy()
+        self._sets: Dict[int, Dict[int, CacheLineState]] = {}
+        self._pending: Dict[int, int] = {}  # line -> ready_cycle
+        self._clock = 0
+
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- indexing ----------------------------------------------------------
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def _tag(self, line: int) -> int:
+        return line // self.num_sets
+
+    # -- queries ---------------------------------------------------------------
+    def probe(self, line: int) -> bool:
+        """Presence check with no side effects (used by the PQ filter)."""
+        ways = self._sets.get(self._set_index(line))
+        return bool(ways) and self._tag(line) in ways
+
+    def get_state(self, line: int) -> Optional[CacheLineState]:
+        """Line state without LRU side effects (None if absent)."""
+        ways = self._sets.get(self._set_index(line))
+        if not ways:
+            return None
+        return ways.get(self._tag(line))
+
+    def mshr_inflight(self, cycle: int) -> int:
+        """Number of fills still outstanding at ``cycle``."""
+        if not self._pending:
+            return 0
+        done = [ln for ln, ready in self._pending.items() if ready <= cycle]
+        for ln in done:
+            del self._pending[ln]
+        return len(self._pending)
+
+    def mshr_free(self, cycle: int) -> int:
+        """MSHRs available at this cycle."""
+        return self.mshrs - self.mshr_inflight(cycle)
+
+    # -- operations ----------------------------------------------------------
+    def lookup(self, line: int, cycle: int) -> Optional[CacheLineState]:
+        """LRU-updating lookup; returns the state (possibly pending) or None."""
+        self.accesses += 1
+        state = self.get_state(line)
+        if state is None:
+            self.misses += 1
+            return None
+        self._clock += 1
+        state.lru = self._clock
+        return state
+
+    def fill(self, line: int, ready_cycle: int, is_instruction: bool = True,
+             source: str = "fetch") -> AccessResult:
+        """Allocate ``line``, evicting a victim if the set is full.
+
+        The caller is responsible for having checked MSHR capacity.
+        """
+        set_idx = self._set_index(line)
+        tag = self._tag(line)
+        ways = self._sets.setdefault(set_idx, {})
+        self._clock += 1
+        evicted_line = None
+        evicted_state = None
+        if tag not in ways and len(ways) >= self.assoc:
+            victim_tag = self.policy.victim(ways)
+            evicted_state = ways.pop(victim_tag)
+            evicted_line = victim_tag * self.num_sets + set_idx
+            self._pending.pop(evicted_line, None)
+            self.evictions += 1
+        state = CacheLineState(
+            tag=tag, ready_cycle=ready_cycle, lru=self._clock,
+            is_instruction=is_instruction, source=source,
+            unused_prefetch=(source == "prefetch"),
+        )
+        ways[tag] = state
+        self._pending[line] = ready_cycle
+        return AccessResult(hit=False, ready_cycle=ready_cycle,
+                            evicted_line=evicted_line,
+                            evicted_state=evicted_state)
+
+    def invalidate(self, line: int) -> None:
+        """Drop a line (and its pending fill) if present."""
+        ways = self._sets.get(self._set_index(line))
+        if ways:
+            ways.pop(self._tag(line), None)
+        self._pending.pop(line, None)
+
+    # -- occupancy helpers -------------------------------------------------
+    def resident_lines(self) -> int:
+        """Total lines currently allocated."""
+        return sum(len(ways) for ways in self._sets.values())
+
+    def set_occupancy(self, line: int) -> Dict[int, CacheLineState]:
+        """The ways of the set containing ``line`` (for policy inspection)."""
+        return self._sets.get(self._set_index(line), {})

@@ -1,0 +1,82 @@
+"""Instruction TLB.
+
+Section 4.2 of the paper notes the authors "also experimented with
+instruction TLB misses as a trackable event that can also expose the
+front-end to cache-miss-related stalls, but saw no performance gain".
+This optional substrate lets the reproduction re-run that experiment:
+when enabled (``HierarchyConfig.itlb_enabled``), every instruction-stream
+access translates its page through a set-associative iTLB, and a miss
+adds a page-walk latency to the fill. Large-footprint workloads touch
+many pages, so iTLB misses cluster on the same resteer paths PDIP
+already targets — which is exactly why the paper saw no *additional*
+gain from tracking them separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils import LINE_SHIFT
+
+#: 4 KB pages: 64 lines per page
+PAGE_SHIFT = 12
+LINES_PER_PAGE = 1 << (PAGE_SHIFT - LINE_SHIFT)
+
+
+@dataclass
+class _TLBEntry:
+    tag: int
+    lru: int = 0
+
+
+class InstructionTLB:
+    """Set-associative iTLB over line-number addresses."""
+
+    def __init__(self, entries: int = 64, assoc: int = 4,
+                 miss_latency: int = 25):
+        if entries % assoc != 0:
+            raise ValueError("entries must be a multiple of associativity")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self.miss_latency = miss_latency
+        self._sets: Dict[int, Dict[int, _TLBEntry]] = {}
+        self._clock = 0
+        self.accesses = 0
+        self.misses = 0
+
+    @staticmethod
+    def page_of_line(line: int) -> int:
+        """Page number containing a cache line."""
+        return line // LINES_PER_PAGE
+
+    def translate(self, line: int) -> int:
+        """Translate the page containing ``line``; returns added latency
+        (0 on a hit, ``miss_latency`` on a walk)."""
+        self.accesses += 1
+        page = self.page_of_line(line)
+        set_idx = page % self.num_sets
+        tag = page // self.num_sets
+        ways = self._sets.setdefault(set_idx, {})
+        self._clock += 1
+        entry = ways.get(tag)
+        if entry is not None:
+            entry.lru = self._clock
+            return 0
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            victim = min(ways, key=lambda t: ways[t].lru)
+            del ways[victim]
+        ways[tag] = _TLBEntry(tag=tag, lru=self._clock)
+        return self.miss_latency
+
+    def miss_rate(self) -> float:
+        """Misses / accesses (0 when unused)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def storage_bits(self) -> int:
+        # tag (~24 bits VPN residue) + PPN (22) + valid + LRU
+        """Storage footprint in bits."""
+        return self.entries * (24 + 22 + 1 + 1)

@@ -1,0 +1,22 @@
+"""Prefetcher interface and baseline prefetchers.
+
+:class:`Prefetcher` is the hook surface the simulator drives; PDIP
+(:mod:`repro.core.pdip`) and EIP (:mod:`repro.prefetchers.eip`) implement
+it. ``NoPrefetcher`` is the FDIP-only baseline.
+"""
+
+from repro.prefetchers.base import NoPrefetcher, Prefetcher
+from repro.prefetchers.eip import EIPConfig, EIPPrefetcher
+from repro.prefetchers.next_line import NextLineConfig, NextLinePrefetcher
+from repro.prefetchers.rdip import RDIPConfig, RDIPPrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "NoPrefetcher",
+    "EIPPrefetcher",
+    "EIPConfig",
+    "NextLinePrefetcher",
+    "NextLineConfig",
+    "RDIPPrefetcher",
+    "RDIPConfig",
+]

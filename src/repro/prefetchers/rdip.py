@@ -1,0 +1,153 @@
+"""RDIP — Return-address-stack Directed Instruction Prefetching
+(Kolli, Saidi & Wenisch, MICRO 2013).
+
+One of the context-signature prefetchers the paper's related work covers
+(Section 8.1): the program's *calling context* — summarized by hashing
+the return address stack — is used as the lookup signature; the lines
+that missed under a context are recorded and prefetched the next time
+the same context is entered. Context changes at calls and returns.
+
+Implementation notes (faithful to the published idea at this
+simulator's granularity):
+
+* the signature is a hash of the top ``ras_depth_hashed`` entries of the
+  simulator-visible call stack, updated on CALL/RETURN blocks;
+* a set-associative *miss table* maps signature -> up to
+  ``lines_per_signature`` miss lines, trained at retirement (correct
+  path only);
+* on a context switch the new signature's lines are pushed to the PQ.
+
+Included as a related-work comparison point; not one of the paper's
+evaluated policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.frontend.ftq import FTQEntry
+from repro.frontend.prefetch_queue import PrefetchQueue
+from repro.prefetchers.base import Prefetcher
+from repro.workloads.layout import BranchKind
+
+
+@dataclass
+class RDIPConfig:
+    """RDIP knobs (defaults give a ~32 KB miss table)."""
+
+    num_sets: int = 256
+    assoc: int = 4
+    lines_per_signature: int = 8
+    ras_depth_hashed: int = 4
+
+
+class _Entry:
+    __slots__ = ("tag", "lines", "lru")
+
+    def __init__(self, tag: int):
+        self.tag = tag
+        self.lines: List[int] = []
+        self.lru = 0
+
+
+class RDIPPrefetcher(Prefetcher):
+    """Return-address-stack directed prefetcher."""
+
+    name = "rdip"
+
+    def __init__(self, pq: PrefetchQueue, config: Optional[RDIPConfig] = None):
+        self.pq = pq
+        self.config = config if config is not None else RDIPConfig()
+        self._sets: Dict[int, Dict[int, _Entry]] = {}
+        self._clock = 0
+        #: speculative call-stack mirror (fed by FTQ enqueues)
+        self._stack: List[int] = []
+        self._signature = 0
+        #: retirement-side stack + signature (training uses correct path)
+        self._retire_stack: List[int] = []
+        self._retire_signature = 0
+        self.prefetch_requests = 0
+        self.signature_switches = 0
+
+    # -- signature ------------------------------------------------------
+    def _hash(self, stack: List[int]) -> int:
+        cfg = self.config
+        h = 2166136261
+        for addr in stack[-cfg.ras_depth_hashed:]:
+            h = ((h ^ addr) * 16777619) & 0xFFFFFFFF
+        return h
+
+    # -- FTQ side: context tracking + prefetch ---------------------------
+    def on_ftq_enqueue(self, entry: FTQEntry, cycle: int) -> None:
+        """A new fetch target entered the FTQ."""
+        kind = entry.block.kind
+        if kind in (BranchKind.CALL, BranchKind.INDIRECT_CALL):
+            if entry.block.fallthrough is not None:
+                self._stack.append(entry.block.branch_pc)
+        elif kind is BranchKind.RETURN and self._stack:
+            self._stack.pop()
+        else:
+            return
+        signature = self._hash(self._stack)
+        if signature == self._signature:
+            return
+        self._signature = signature
+        self.signature_switches += 1
+        for line in self._lookup(signature):
+            self.prefetch_requests += 1
+            self.pq.request(line)
+
+    # -- retire side: training ---------------------------------------------
+    def on_retire(self, entry: FTQEntry, cycle: int) -> None:
+        """A correct-path block fully retired."""
+        kind = entry.block.kind
+        if kind in (BranchKind.CALL, BranchKind.INDIRECT_CALL):
+            if entry.block.fallthrough is not None:
+                self._retire_stack.append(entry.block.branch_pc)
+            self._retire_signature = self._hash(self._retire_stack)
+        elif kind is BranchKind.RETURN and self._retire_stack:
+            self._retire_stack.pop()
+            self._retire_signature = self._hash(self._retire_stack)
+        for line in entry.missed_lines:
+            self._train(self._retire_signature, line)
+
+    # -- miss table ------------------------------------------------------
+    def _train(self, signature: int, line: int) -> None:
+        cfg = self.config
+        set_idx = signature % cfg.num_sets
+        tag = signature // cfg.num_sets
+        ways = self._sets.setdefault(set_idx, {})
+        self._clock += 1
+        entry = ways.get(tag)
+        if entry is None:
+            if len(ways) >= cfg.assoc:
+                victim = min(ways, key=lambda t: ways[t].lru)
+                del ways[victim]
+            entry = _Entry(tag)
+            ways[tag] = entry
+        entry.lru = self._clock
+        if line in entry.lines:
+            return
+        if len(entry.lines) >= cfg.lines_per_signature:
+            entry.lines.pop(0)
+        entry.lines.append(line)
+
+    def _lookup(self, signature: int) -> List[int]:
+        cfg = self.config
+        ways = self._sets.get(signature % cfg.num_sets)
+        if not ways:
+            return []
+        entry = ways.get(signature // cfg.num_sets)
+        if entry is None:
+            return []
+        self._clock += 1
+        entry.lru = self._clock
+        return list(entry.lines)
+
+    @property
+    def storage_kb(self) -> float:
+        """Storage footprint in kilobytes."""
+        cfg = self.config
+        bits_per_way = 16 + cfg.lines_per_signature * 34 + 1
+        return cfg.num_sets * cfg.assoc * bits_per_way / 8.0 / 1024.0

@@ -1,0 +1,103 @@
+"""On-disk result cache for simulation runs.
+
+A full figure regeneration simulates hundreds of (benchmark x policy)
+pairs; many figures share pairs (the baseline appears in every one). The
+cache stores each run's :class:`~repro.simulator.stats.SimulationStats`
+counters as JSON keyed by a hash of everything that determines the run
+(benchmark, policy spec, instruction budget, seed, machine config), so a
+pair simulates once per configuration and every bench reuses it.
+
+Set the environment variable ``REPRO_CACHE_DIR`` to relocate the cache,
+or ``REPRO_NO_CACHE=1`` to disable it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.simulator.config import MachineConfig
+from repro.simulator.policies import PolicySpec
+from repro.simulator.stats import SimulationStats
+from repro.workloads.profiles import get_profile
+
+_DEFAULT_DIR = Path(__file__).resolve().parents[3] / ".repro-results"
+
+
+def cache_dir() -> Path:
+    """Directory holding cached run results."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", str(_DEFAULT_DIR)))
+
+
+def cache_enabled() -> bool:
+    """False when REPRO_NO_CACHE=1."""
+    return os.environ.get("REPRO_NO_CACHE", "") != "1"
+
+
+def _freeze(obj):
+    """JSON-stable representation of dataclasses / dicts / scalars."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _freeze(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _freeze(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_freeze(v) for v in obj]
+    return obj
+
+
+def run_key(benchmark: str, spec: PolicySpec, instructions: int, warmup: int,
+            seed: int, config: Optional[MachineConfig]) -> str:
+    """Stable hash of everything that determines a run's outcome."""
+    payload = {
+        "benchmark": benchmark,
+        # include the full profile so retuning a benchmark invalidates
+        # its cached runs
+        "profile": _freeze(get_profile(benchmark)),
+        "spec": _freeze(spec),
+        "instructions": instructions,
+        "warmup": warmup,
+        "seed": seed,
+        "config": _freeze(config if config is not None else MachineConfig()),
+        "version": 3,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha1(blob).hexdigest()
+
+
+def load(key: str) -> Optional[SimulationStats]:
+    """Load cached stats for a run key (None on miss)."""
+    if not cache_enabled():
+        return None
+    path = cache_dir() / (key + ".json")
+    if not path.exists():
+        return None
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    stats = SimulationStats()
+    for name, value in data.items():
+        if hasattr(stats, name):
+            setattr(stats, name, value)
+    return stats
+
+
+def store(key: str, stats: SimulationStats) -> None:
+    """Persist a run's stats under its key."""
+    if not cache_enabled():
+        return
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    data = {name: getattr(stats, name) for name in vars(stats)
+            if isinstance(getattr(stats, name), (int, float))}
+    data["extra"] = stats.extra
+    tmp = directory / (key + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(data, fh)
+    tmp.replace(directory / (key + ".json"))

@@ -1,0 +1,431 @@
+"""The cycle-level machine (Figure 7 wiring).
+
+Per cycle, in order:
+
+1. **Resteer** — if a scheduled front-end resteer matures, flush the FTQ,
+   squash wrong-path work in the back end, and redirect the IAG.
+2. **IAG** — fill the FTQ along the predicted path: correct-path blocks
+   from the walker (with the BPU judging each transfer), or wrong-path
+   blocks from a speculative walk after an undiscovered mispredict.
+   Enqueuing triggers the FDIP prefetch of the entry's lines and the
+   prefetcher's trigger lookup (PDIP table / EIP entangling table).
+3. **PQ** — drain prefetch requests into the L1-I under the MSHR rules.
+4. **Decode** — consume ready FTQ heads up to the decode width; starve
+   (and charge the head entry) when lines are not ready; schedule the
+   resteer when a mispredicted block finally decodes.
+5. **Back end** — retire; at block retirement run FEC classification,
+   EMISSARY promotion, prefetcher training, and the data-side stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.backend.model import BackendModel
+from repro.branch.bpu import BlockPrediction, BranchPredictionUnit, MispredictKind
+from repro.core.fec import FECClassifier
+from repro.frontend.ftq import FTQ, FTQEntry
+from repro.frontend.prefetch_queue import PrefetchQueue
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.prefetchers.base import NoPrefetcher, Prefetcher
+from repro.simulator.config import MachineConfig
+from repro.simulator.stats import SimulationStats
+from repro.utils import derive_rng, line_of
+from repro.workloads.layout import CodeLayout
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.walker import PathWalker, SpeculativePath
+
+#: data lines live in a disjoint address space from instruction lines
+DATA_LINE_BASE = 1 << 40
+
+
+@dataclass
+class _Resteer:
+    """A mispredict discovered by the IAG, waiting to resolve."""
+
+    kind: MispredictKind
+    trigger_line: int
+    #: cycle the front end redirects (set when the branch decodes)
+    scheduled: Optional[int] = None
+
+
+class Machine:
+    """One simulated core running one synthetic workload."""
+
+    def __init__(self, layout: CodeLayout, profile: WorkloadProfile,
+                 config: Optional[MachineConfig] = None,
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 prefetcher: Optional[Prefetcher] = None,
+                 pq: Optional[PrefetchQueue] = None,
+                 bpu: Optional[BranchPredictionUnit] = None,
+                 walker=None,
+                 seed: int = 0):
+        self.layout = layout
+        self.profile = profile
+        self.config = config if config is not None else MachineConfig()
+        cfg = self.config
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else MemoryHierarchy(config=cfg.hierarchy, seed=seed))
+        self.pq = pq if pq is not None else PrefetchQueue(
+            self.hierarchy, capacity=cfg.pq_capacity,
+            issue_width=cfg.pq_issue_width, mshr_reserve=cfg.pq_mshr_reserve)
+        self.prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
+        self.bpu = bpu if bpu is not None else BranchPredictionUnit(
+            btb_entries=cfg.btb_entries, btb_assoc=cfg.btb_assoc,
+            ras_depth=cfg.ras_depth, seed=seed)
+        # any object with the PathWalker surface works here — e.g. a
+        # repro.workloads.trace.TraceReplayer replaying a recorded stream
+        self.walker = walker if walker is not None else PathWalker(
+            layout, seed=seed, indirect_noise=profile.indirect_noise)
+        self.ftq = FTQ(depth=cfg.ftq_depth)
+        self.backend = BackendModel(
+            rob_entries=cfg.rob_entries, retire_width=cfg.retire_width,
+            depth=cfg.backend_depth, stall_prob=profile.backend_stall_prob,
+            issue_empty_threshold=cfg.issue_empty_threshold, seed=seed)
+        self.fec = FECClassifier(wake_window=cfg.fec_wake_window,
+                                 high_cost_threshold=cfg.fec_high_cost_threshold)
+
+        # data-side sampler (Zipf over the profile's data working set)
+        self._data_rng = derive_rng(seed, "datastream")
+        n = profile.data_lines
+        weights = [1.0 / ((i + 1) ** profile.data_zipf_alpha) for i in range(n)]
+        total = sum(weights)
+        acc = 0.0
+        self._data_cum: List[float] = []
+        for w in weights:
+            acc += w / total
+            self._data_cum.append(acc)
+
+        # dynamic state
+        self.cycle = 0
+        self._pending_resteer: Optional[_Resteer] = None
+        self._wrong_path: Optional[SpeculativePath] = None
+        self._iag_stall_until = 0
+        self._entries_since_resteer = 1 << 30
+        self._last_resteer_kind: Optional[MispredictKind] = None
+        self._last_resteer_trigger: Optional[int] = None
+        self._last_taken_line: Optional[int] = None
+
+        self.stats = SimulationStats()
+        self._decode_progress = 0  # instructions of the head already decoded
+        self._head_admitted = False
+        #: optional per-cycle observer (see repro.simulator.probe)
+        self.probe = None
+
+    # ==================================================================
+    # main loop
+    # ==================================================================
+    def run(self, instructions: int, warmup: int = 0,
+            max_cycles: Optional[int] = None) -> SimulationStats:
+        """Simulate until ``warmup + instructions`` have retired.
+
+        Counters are snapshotted after warmup so the returned stats cover
+        only the measured window. ``max_cycles`` bounds runaway configs.
+        """
+        limit = max_cycles if max_cycles is not None else \
+            400 * (warmup + instructions)
+        snapshot = None
+        measure_end = warmup + instructions  # refined once warmup completes
+        while True:
+            retired = self.backend.retired_instructions
+            if snapshot is None and retired >= warmup:
+                snapshot = self._snapshot()
+                measure_end = retired + instructions
+            if snapshot is not None and retired >= measure_end:
+                break
+            self.step()
+            if self.cycle > limit:
+                raise RuntimeError(
+                    "simulation exceeded %d cycles (deadlock?)" % limit)
+        return self._delta(snapshot)
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        cycle = self.cycle
+        self._handle_resteer(cycle)
+        self._iag_fill(cycle)
+        self.pq.tick(cycle)
+        self._decode(cycle)
+        retired = self.backend.tick(cycle, on_retire_block=self._on_retire)
+        self.stats.instructions += retired
+        self.stats.cycles += 1
+        if self.probe is not None:
+            self.probe(self)
+        self.cycle += 1
+
+    # ==================================================================
+    # stage 1: resteer
+    # ==================================================================
+    def _handle_resteer(self, cycle: int) -> None:
+        pr = self._pending_resteer
+        if pr is None or pr.scheduled is None or cycle < pr.scheduled:
+            return
+        self.ftq.flush()
+        self.backend.squash_wrong_path()
+        self._wrong_path = None
+        self._decode_progress = 0
+        self._head_admitted = False
+        self._iag_stall_until = cycle + self.config.redirect_penalty
+        self._entries_since_resteer = 0
+        self._last_resteer_kind = pr.kind
+        self._last_resteer_trigger = pr.trigger_line
+        self._pending_resteer = None
+        self.stats.resteers += 1
+        if pr.kind is MispredictKind.BTB_MISS:
+            self.stats.resteers_btb_miss += 1
+        elif pr.kind is MispredictKind.COND_MISPREDICT:
+            self.stats.resteers_cond += 1
+        elif pr.kind is MispredictKind.INDIRECT_MISPREDICT:
+            self.stats.resteers_indirect += 1
+        elif pr.kind is MispredictKind.RETURN_MISPREDICT:
+            self.stats.resteers_return += 1
+
+    # ==================================================================
+    # stage 2: IAG / FTQ fill (with FDIP prefetch)
+    # ==================================================================
+    def _iag_fill(self, cycle: int) -> None:
+        if cycle < self._iag_stall_until:
+            return
+        for _ in range(self.config.iag_blocks_per_cycle):
+            if self.ftq.full:
+                return
+            entry = self._next_entry(cycle)
+            if entry is None:
+                return
+            self._fdip_access(entry, cycle)
+            self._finish_enqueue(entry, cycle)
+
+    def _next_entry(self, cycle: int) -> Optional[FTQEntry]:
+        if self._wrong_path is not None:
+            block = self._wrong_path.step()
+            if block is None:
+                return None  # wrong path dead-ended; wait for the resteer
+            self.stats.wrong_path_blocks += 1
+            return FTQEntry(block=block, lines=block.lines(),
+                            enqueue_cycle=cycle, is_wrong_path=True)
+        event = self.walker.next_event()
+        entry = FTQEntry(block=event.block, lines=event.block.lines(),
+                         enqueue_cycle=cycle, taken=event.taken,
+                         target_addr=event.target_addr)
+        prediction = self.bpu.predict_block(event.block, event.taken,
+                                            event.target_addr)
+        entry.mispredict = prediction.mispredict
+        entry.predicted_target = prediction.predicted_target
+        if prediction.mispredict.is_resteer:
+            self._start_wrong_path(entry, prediction)
+        return entry
+
+    def _start_wrong_path(self, entry: FTQEntry,
+                          prediction: BlockPrediction) -> None:
+        trigger_line = line_of(entry.block.branch_pc)
+        self._pending_resteer = _Resteer(kind=prediction.mispredict,
+                                         trigger_line=trigger_line)
+        start_bid = None
+        if prediction.predicted_target is not None:
+            start_bid = self.layout.entry_index().get(prediction.predicted_target)
+        self._wrong_path = SpeculativePath(
+            self.layout, start_bid, self.walker.snapshot_stack(),
+            max_blocks=self.config.wrongpath_max_blocks)
+
+    def _fdip_access(self, entry: FTQEntry, cycle: int) -> None:
+        """FDIP-prefetch the entry's lines.
+
+        Lines that cannot allocate an MSHR are *deferred*: the entry still
+        enqueues (a real FTQ does not stall on cache back-pressure) and
+        the IFU issues the remaining fills as demand accesses when the
+        entry reaches the head.
+        """
+        for i, line in enumerate(entry.lines):
+            result = self.hierarchy.fetch_instruction(line, cycle)
+            if result.stalled_mshr:
+                entry.deferred_lines.extend(entry.lines[i:])
+                return
+            entry.line_ready[line] = result.ready_cycle
+            if result.l1_miss:
+                entry.missed_lines.append(line)
+            elif result.pending_hit:
+                entry.pending_lines.append(line)
+
+    def _finish_enqueue(self, entry: FTQEntry, cycle: int) -> None:
+        self._entries_since_resteer += 1
+        entry.entries_since_resteer = self._entries_since_resteer
+        entry.resteer_kind = self._last_resteer_kind
+        entry.resteer_trigger_line = self._last_resteer_trigger
+        self.ftq.push(entry)
+        if entry.block.is_branch and (entry.taken or entry.is_wrong_path):
+            self.prefetcher.observe_branch(line_of(entry.block.branch_pc))
+        self.prefetcher.on_ftq_enqueue(entry, cycle)
+
+    # ==================================================================
+    # stage 4: decode
+    # ==================================================================
+    def _decode(self, cycle: int) -> None:
+        cfg = self.config
+        budget = cfg.decode_width
+        delivered_correct = 0
+        delivered_wrong = 0
+        blocked_backend = False
+        starving_head: Optional[FTQEntry] = None
+
+        while budget > 0:
+            head = self.ftq.head()
+            if head is None:
+                break
+            if head.deferred_lines:
+                self._issue_deferred(head, cycle)
+            if head.deferred_lines or head.ready_cycle > cycle:
+                starving_head = head
+                break
+            remaining = head.block.num_instructions - self._decode_progress
+            if not self._head_admitted:
+                if not self.backend.admit(head, head.block.num_instructions,
+                                          cycle,
+                                          is_wrong_path=head.is_wrong_path):
+                    blocked_backend = True
+                    break
+                self._head_admitted = True
+                self._maybe_schedule_resteer(head, cycle)
+            take = min(budget, remaining)
+            self._decode_progress += take
+            budget -= take
+            if head.is_wrong_path:
+                delivered_wrong += take
+            else:
+                delivered_correct += take
+            if self._decode_progress >= head.block.num_instructions:
+                self.ftq.pop()
+                self._decode_progress = 0
+                self._head_admitted = False
+
+        # -- top-down accounting ------------------------------------------
+        st = self.stats
+        st.slots_total += cfg.decode_width
+        st.slots_retiring += delivered_correct
+        st.slots_bad_speculation += delivered_wrong
+        shortfall = budget
+        if shortfall > 0:
+            if blocked_backend:
+                st.slots_backend_bound += shortfall
+            else:
+                st.slots_frontend_bound += shortfall
+
+        # -- decode starvation (FEC bookkeeping) ----------------------------
+        if delivered_correct + delivered_wrong == 0 and not blocked_backend:
+            st.decode_starvation_cycles += 1
+            if starving_head is not None:
+                starving_head.starvation_cycles += 1
+                if self.backend.issue_queue_empty:
+                    starving_head.backend_starved = True
+
+    def _issue_deferred(self, head: FTQEntry, cycle: int) -> None:
+        """Demand-issue fills the FDIP stream could not start (MSHR full)."""
+        while head.deferred_lines:
+            line = head.deferred_lines[0]
+            result = self.hierarchy.fetch_instruction(line, cycle)
+            if result.stalled_mshr:
+                return
+            head.deferred_lines.pop(0)
+            head.line_ready[line] = result.ready_cycle
+            if result.l1_miss:
+                head.missed_lines.append(line)
+            elif result.pending_hit:
+                head.pending_lines.append(line)
+
+    def _maybe_schedule_resteer(self, entry: FTQEntry, cycle: int) -> None:
+        pr = self._pending_resteer
+        if (pr is None or pr.scheduled is not None
+                or entry.mispredict is not pr.kind
+                or not entry.mispredict.is_resteer or entry.is_wrong_path):
+            return
+        cfg = self.config
+        if entry.mispredict.resolves_at_predecode:
+            pr.scheduled = cycle + cfg.predecode_resteer_latency
+        else:
+            pr.scheduled = cycle + cfg.exec_resteer_latency
+
+    # ==================================================================
+    # stage 5: retirement callbacks
+    # ==================================================================
+    def _on_retire(self, entry: FTQEntry) -> None:
+        cycle = self.cycle
+        events = self.fec.on_retire(
+            entry,
+            resteer_kind=entry.resteer_kind,
+            resteer_trigger_line=entry.resteer_trigger_line,
+            last_taken_line=self._last_taken_line)
+        if events:
+            self.stats.fec_starvation_cycles += entry.starvation_cycles
+            for event in events:
+                self.hierarchy.promote_fec(event.line)
+                if event.line in self.hierarchy.prefetched_lines:
+                    self.stats.fec_covered_events += 1
+            self.stats.fec_events += len(events)
+        self.prefetcher.on_fec_events(events, cycle)
+        self.prefetcher.on_retire(entry, cycle)
+        if entry.taken and entry.block.is_branch:
+            self._last_taken_line = line_of(entry.block.branch_pc)
+        self._data_stream(entry, cycle)
+
+    def _data_stream(self, entry: FTQEntry, cycle: int) -> None:
+        profile = self.profile
+        cfg = self.config
+        rng = self._data_rng
+        for _ in range(entry.block.num_instructions):
+            if rng.random() >= profile.data_access_prob:
+                continue
+            idx = bisect.bisect_left(self._data_cum, rng.random())
+            line = DATA_LINE_BASE + idx
+            ready, hit = self.hierarchy.data_access(line, cycle)
+            if not hit and rng.random() < cfg.data_miss_expose_prob:
+                exposed = int((ready - cycle) * cfg.data_miss_exposed_fraction)
+                if exposed > 0:
+                    self.backend.inject_stall(cycle, exposed)
+
+    # ==================================================================
+    # stats plumbing
+    # ==================================================================
+    _COUNTER_SOURCES = (
+        ("l1i_accesses", "hierarchy", "l1i_demand_accesses"),
+        ("l1i_misses", "hierarchy", "l1i_demand_misses"),
+        ("l2_inst_misses", "hierarchy", "l2_inst_misses"),
+        ("l2_data_misses", "hierarchy", "l2_data_misses"),
+        ("l3_misses", "hierarchy", "l3_misses"),
+        ("prefetches_issued", "hierarchy", "prefetches_issued"),
+        ("prefetches_dropped", "hierarchy", "prefetches_dropped"),
+        ("prefetch_useful", "hierarchy", "prefetch_useful"),
+        ("prefetch_late", "hierarchy", "prefetch_late"),
+        ("prefetch_useless", "hierarchy", "prefetch_useless"),
+    )
+
+    def _snapshot(self) -> dict:
+        snap = {}
+        for name in vars(self.stats):
+            value = getattr(self.stats, name)
+            if isinstance(value, int):
+                snap["stats." + name] = value
+        for stat_name, owner, attr in self._COUNTER_SOURCES:
+            snap["src." + stat_name] = getattr(getattr(self, owner), attr)
+        return snap
+
+    def _delta(self, snapshot: dict) -> SimulationStats:
+        out = SimulationStats()
+        for name in vars(self.stats):
+            value = getattr(self.stats, name)
+            if isinstance(value, int):
+                setattr(out, name, value - snapshot.get("stats." + name, 0))
+        for stat_name, owner, attr in self._COUNTER_SOURCES:
+            now = getattr(getattr(self, owner), attr)
+            setattr(out, stat_name, now - snapshot.get("src." + stat_name, 0))
+        # whole-run set-based metrics (warmup included; fractions only)
+        out.fec_distinct_lines = len(self.fec.fec_lines)
+        out.retired_distinct_lines = len(self.fec.retired_lines_seen)
+        out.fec_high_cost_events = self.fec.high_cost_events
+        out.fec_high_cost_backend_events = self.fec.high_cost_backend_events
+        if hasattr(self.prefetcher, "triggers_mispredict"):
+            out.pdip_triggers_mispredict = self.prefetcher.triggers_mispredict
+            out.pdip_triggers_last_taken = self.prefetcher.triggers_last_taken
+        if hasattr(self.prefetcher, "inserted_events"):
+            out.pdip_inserts = self.prefetcher.inserted_events
+        return out

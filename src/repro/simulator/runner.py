@@ -1,0 +1,94 @@
+"""Suite runner: simulate (benchmark x policy) grids and compare IPC.
+
+Layouts are generated once per benchmark and shared across policies (the
+same binary runs under every configuration, like the paper's
+experiments); each policy still gets its own machine, caches, and
+predictors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.simulator.config import MachineConfig
+from repro.simulator.policies import PolicySpec, build_machine, get_policy
+from repro.simulator.stats import SimulationStats
+from repro.utils import geomean
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import BENCHMARK_NAMES, get_profile
+
+#: default measured instructions (the paper runs 100M in gem5; the pure-
+#: Python model uses a scaled-down budget — long enough for the PDIP
+#: table, BTB, and caches to converge, see DESIGN.md)
+DEFAULT_INSTRUCTIONS = 400_000
+DEFAULT_WARMUP = 120_000
+
+
+def run_benchmark(benchmark: str, policy: str,
+                  instructions: int = DEFAULT_INSTRUCTIONS,
+                  warmup: int = DEFAULT_WARMUP,
+                  config: Optional[MachineConfig] = None,
+                  seed: int = 1,
+                  use_cache: bool = True) -> SimulationStats:
+    """Simulate one benchmark under one policy and return its stats.
+
+    Results are memoized on disk (see :mod:`repro.simulator.cache`);
+    pass ``use_cache=False`` to force a fresh simulation.
+    """
+    from repro.simulator import cache as result_cache
+
+    profile = get_profile(benchmark)
+    spec = get_policy(policy) if isinstance(policy, str) else policy
+    key = result_cache.run_key(benchmark, spec, instructions, warmup, seed,
+                               config)
+    if use_cache:
+        hit = result_cache.load(key)
+        if hit is not None:
+            return hit
+    layout = generate_layout(profile, seed=seed)
+    machine = build_machine(layout, profile, spec, config=config, seed=seed)
+    stats = machine.run(instructions, warmup=warmup)
+    if use_cache:
+        result_cache.store(key, stats)
+    return stats
+
+
+def run_suite(policies: Sequence[str], benchmarks: Optional[Iterable[str]] = None,
+              instructions: int = DEFAULT_INSTRUCTIONS,
+              warmup: int = DEFAULT_WARMUP,
+              config: Optional[MachineConfig] = None,
+              seed: int = 1,
+              verbose: bool = False) -> Dict[str, Dict[str, SimulationStats]]:
+    """Run a (benchmark x policy) grid.
+
+    Returns ``{benchmark: {policy: stats}}``. The layout for each
+    benchmark is generated once and reused across policies.
+    """
+    names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
+    results: Dict[str, Dict[str, SimulationStats]] = {}
+    for bench in names:
+        results[bench] = {}
+        for policy in policies:
+            spec = get_policy(policy) if isinstance(policy, str) else policy
+            stats = run_benchmark(bench, spec, instructions=instructions,
+                                  warmup=warmup, config=config, seed=seed)
+            results[bench][spec.name] = stats
+            if verbose:
+                print(f"{bench:16s} {spec.name:18s} {stats.summary()}")
+    return results
+
+
+def speedup(stats: SimulationStats, baseline: SimulationStats) -> float:
+    """IPC speedup of ``stats`` over ``baseline`` (1.0 = no change)."""
+    if baseline.ipc == 0:
+        raise ValueError("baseline IPC is zero")
+    return stats.ipc / baseline.ipc
+
+
+def geomean_speedup(results: Dict[str, Dict[str, SimulationStats]],
+                    policy: str, baseline: str = "baseline") -> float:
+    """Geometric-mean IPC speedup of ``policy`` across all benchmarks."""
+    ratios = [speedup(by_policy[policy], by_policy[baseline])
+              for by_policy in results.values()]
+    return geomean(ratios)

@@ -1,0 +1,40 @@
+"""Synthetic large-code-footprint workloads.
+
+The paper evaluates PDIP on 16 real server/client workloads (Table 2).
+Those traces are not redistributable, so this package generates synthetic
+programs whose *instruction-block access stream* has the same statistical
+structure: code footprints far exceeding the 32 KB L1-I, Zipf-skewed
+function invocation (hot/cold lines), biased conditional branches,
+indirect dispatch with per-site target fan-out, and deep call chains.
+One named profile per paper benchmark is tuned to land in the same
+qualitative regime (miss-heavy cassandra/verilator, lighter kafka/noop).
+"""
+
+from repro.workloads.layout import (
+    BasicBlock,
+    BranchKind,
+    CodeLayout,
+    Function,
+)
+from repro.workloads.profiles import (
+    BENCHMARK_NAMES,
+    PROFILES,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.generator import generate_layout
+from repro.workloads.walker import ControlFlowEvent, PathWalker
+
+__all__ = [
+    "BasicBlock",
+    "BranchKind",
+    "CodeLayout",
+    "Function",
+    "WorkloadProfile",
+    "PROFILES",
+    "BENCHMARK_NAMES",
+    "get_profile",
+    "generate_layout",
+    "PathWalker",
+    "ControlFlowEvent",
+]

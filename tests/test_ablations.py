@@ -1,0 +1,48 @@
+"""Tests for the ablation drivers (tiny budgets, isolated cache)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+TINY = dict(instructions=5000, warmup=1000, benchmarks=["noop"])
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_INSTRUCTIONS", raising=False)
+    monkeypatch.delenv("REPRO_WARMUP", raising=False)
+    monkeypatch.delenv("REPRO_BENCHMARKS", raising=False)
+
+
+class TestAblations:
+    def test_insertion_probability_sweep_shape(self):
+        result = ablations.insertion_probability(**TINY)
+        assert set(result) == {"p=0.03", "p=0.125", "p=0.25", "p=0.5",
+                               "p=1"}
+
+    def test_candidate_filter_variants(self):
+        result = ablations.candidate_filter(**TINY)
+        assert "high-cost + backend-stall (paper)" in result
+        assert "all FEC lines" in result
+
+    def test_table_geometry_variants(self):
+        result = ablations.table_geometry(**TINY)
+        assert "2 targets, 4-bit mask (paper)" in result
+        assert len(result) == 5
+
+    def test_ftq_depth_sweep(self):
+        result = ablations.ftq_depth(**TINY)
+        assert set(result) == {"ftq=8", "ftq=16", "ftq=24", "ftq=48"}
+
+    def test_emissary_knobs(self):
+        result = ablations.emissary_knobs(**TINY)
+        assert any("1/32" not in k and "0.031" in k for k in result)
+
+    def test_itlb_variants(self):
+        result = ablations.itlb(**TINY)
+        assert len(result) == 2
+
+    def test_render(self):
+        text = ablations.render({"a": 1.0, "b": -0.5}, "T")
+        assert "T" in text and "+1.00%" in text and "-0.50%" in text

@@ -1,0 +1,113 @@
+"""Tests for the back-end occupancy model."""
+
+import pytest
+
+from repro.backend.model import BackendModel
+
+
+def backend(**kw):
+    kw.setdefault("rob_entries", 64)
+    kw.setdefault("retire_width", 4)
+    kw.setdefault("depth", 3)
+    kw.setdefault("stall_prob", 0.0)
+    kw.setdefault("issue_empty_threshold", 4)
+    return BackendModel(seed=1, **kw)
+
+
+class TestAdmission:
+    def test_admit_occupies_slots(self):
+        be = backend()
+        assert be.admit("e1", 10, cycle=0)
+        assert be.occupancy == 10
+        assert be.free_slots() == 54
+
+    def test_admit_rejects_when_full(self):
+        be = backend(rob_entries=8)
+        assert be.admit("e1", 8, cycle=0)
+        assert not be.admit("e2", 1, cycle=0)
+
+
+class TestRetirement:
+    def test_nothing_retires_before_depth(self):
+        be = backend(depth=5)
+        be.admit("e1", 4, cycle=0)
+        assert be.tick(cycle=2) == 0
+
+    def test_retires_after_depth(self):
+        be = backend(depth=3, retire_width=4)
+        be.admit("e1", 4, cycle=0)
+        assert be.tick(cycle=3) == 4
+        assert be.occupancy == 0
+
+    def test_retire_width_bounds_per_cycle(self):
+        be = backend(retire_width=4)
+        be.admit("e1", 10, cycle=0)
+        assert be.tick(cycle=5) == 4
+        assert be.tick(cycle=6) == 4
+        assert be.tick(cycle=7) == 2
+
+    def test_block_callback_on_completion(self):
+        be = backend(retire_width=4)
+        retired = []
+        be.admit("e1", 6, cycle=0)
+        be.tick(cycle=5, on_retire_block=retired.append)
+        assert retired == []  # 4 of 6 retired
+        be.tick(cycle=6, on_retire_block=retired.append)
+        assert retired == ["e1"]
+
+    def test_in_order_retirement(self):
+        be = backend(retire_width=8)
+        retired = []
+        be.admit("a", 4, cycle=0)
+        be.admit("b", 4, cycle=1)
+        be.tick(cycle=10, on_retire_block=retired.append)
+        assert retired == ["a", "b"]
+
+    def test_stall_prob_one_never_retires(self):
+        be = backend(stall_prob=1.0)
+        be.admit("e1", 4, cycle=0)
+        for c in range(10, 20):
+            assert be.tick(cycle=c) == 0
+        assert be.stall_cycles == 10
+
+    def test_injected_stall_blocks_retirement(self):
+        be = backend()
+        be.admit("e1", 4, cycle=0)
+        be.inject_stall(cycle=5, duration=10)
+        assert be.tick(cycle=10) == 0
+        assert be.tick(cycle=15) == 4
+
+
+class TestWrongPath:
+    def test_wrong_path_blocks_do_not_retire(self):
+        be = backend()
+        be.admit("wp", 4, cycle=0, is_wrong_path=True)
+        assert be.tick(cycle=10) == 0
+
+    def test_wrong_path_blocks_younger_correct_work(self):
+        """In-order window: a wrong-path block at the head blocks younger
+        correct-path blocks until the squash."""
+        be = backend()
+        be.admit("wp", 4, cycle=0, is_wrong_path=True)
+        be.admit("ok", 4, cycle=0)
+        assert be.tick(cycle=10) == 0
+        assert be.squash_wrong_path() == 4
+        assert be.tick(cycle=11) == 4
+
+    def test_squash_frees_occupancy(self):
+        be = backend()
+        be.admit("wp", 10, cycle=0, is_wrong_path=True)
+        assert be.occupancy == 10
+        be.squash_wrong_path()
+        assert be.occupancy == 0
+        assert be.squashed_instructions == 10
+
+
+class TestIssueQueueEmpty:
+    def test_empty_below_threshold(self):
+        be = backend(issue_empty_threshold=4)
+        assert be.issue_queue_empty
+        be.admit("e1", 3, cycle=0)
+        assert be.issue_queue_empty
+        be.admit("e2", 2, cycle=0)
+        assert not be.issue_queue_empty

@@ -1,0 +1,123 @@
+"""Tests for the composite branch prediction unit."""
+
+import pytest
+
+from repro.branch.bpu import BranchPredictionUnit, MispredictKind
+from repro.workloads.layout import BasicBlock, BranchKind
+
+
+def block(kind, bid=0, addr=0x1000, n=4, **kw):
+    return BasicBlock(bid=bid, addr=addr, num_instructions=n, kind=kind, **kw)
+
+
+@pytest.fixture
+def bpu():
+    return BranchPredictionUnit(btb_entries=256, btb_assoc=4, seed=1)
+
+
+class TestFallthrough:
+    def test_never_mispredicts(self, bpu):
+        blk = block(BranchKind.FALLTHROUGH)
+        result = bpu.predict_block(blk, False, blk.end_addr)
+        assert result.mispredict is MispredictKind.NONE
+
+
+class TestDirect:
+    def test_first_taken_is_btb_miss(self, bpu):
+        blk = block(BranchKind.DIRECT)
+        result = bpu.predict_block(blk, True, 0x2000)
+        assert result.mispredict is MispredictKind.BTB_MISS
+        assert result.predicted_target == blk.end_addr  # sequential wrong path
+
+    def test_second_execution_hits(self, bpu):
+        blk = block(BranchKind.DIRECT)
+        bpu.predict_block(blk, True, 0x2000)
+        result = bpu.predict_block(blk, True, 0x2000)
+        assert result.mispredict is MispredictKind.NONE
+
+
+class TestConditional:
+    def test_never_taken_stays_invisible(self, bpu):
+        """An always-not-taken branch never enters the BTB and never
+        resteers."""
+        blk = block(BranchKind.COND, taken_target=1, fallthrough=2)
+        for _ in range(20):
+            result = bpu.predict_block(blk, False, blk.end_addr)
+            assert result.mispredict is MispredictKind.NONE
+        assert bpu.btb.lookup(blk.branch_pc) is None
+
+    def test_first_taken_is_btb_miss(self, bpu):
+        blk = block(BranchKind.COND, taken_target=1, fallthrough=2)
+        result = bpu.predict_block(blk, True, 0x2000)
+        assert result.mispredict is MispredictKind.BTB_MISS
+
+    def test_biased_taken_converges(self, bpu):
+        blk = block(BranchKind.COND, taken_target=1, fallthrough=2)
+        mispredicts = 0
+        for i in range(60):
+            result = bpu.predict_block(blk, True, 0x2000)
+            if i >= 10 and result.mispredict.is_resteer:
+                mispredicts += 1
+        assert mispredicts <= 2
+
+    def test_direction_flip_mispredicts_once_then_relearns(self, bpu):
+        blk = block(BranchKind.COND, taken_target=1, fallthrough=2)
+        for _ in range(30):
+            bpu.predict_block(blk, True, 0x2000)
+        result = bpu.predict_block(blk, False, blk.end_addr)
+        assert result.mispredict is MispredictKind.COND_MISPREDICT
+        assert result.predicted_target == 0x2000  # wrong path = taken side
+
+
+class TestIndirect:
+    def test_first_execution_btb_miss(self, bpu):
+        blk = block(BranchKind.INDIRECT, indirect_targets=(1,),
+                    indirect_weights=(1.0,))
+        result = bpu.predict_block(blk, True, 0x3000)
+        assert result.mispredict is MispredictKind.BTB_MISS
+
+    def test_monomorphic_converges(self, bpu):
+        blk = block(BranchKind.INDIRECT, indirect_targets=(1,),
+                    indirect_weights=(1.0,))
+        mispredicts = 0
+        for i in range(40):
+            result = bpu.predict_block(blk, True, 0x3000)
+            if i >= 10 and result.mispredict.is_resteer:
+                mispredicts += 1
+        assert mispredicts <= 2
+
+    def test_target_change_mispredicts(self, bpu):
+        blk = block(BranchKind.INDIRECT, indirect_targets=(1, 2),
+                    indirect_weights=(0.5, 1.0))
+        for _ in range(20):
+            bpu.predict_block(blk, True, 0x3000)
+        result = bpu.predict_block(blk, True, 0x4000)
+        assert result.mispredict is MispredictKind.INDIRECT_MISPREDICT
+
+
+class TestReturn:
+    def test_ras_predicts_return(self, bpu):
+        call = block(BranchKind.CALL, bid=0, addr=0x1000, taken_target=5,
+                     fallthrough=1)
+        ret = block(BranchKind.RETURN, bid=5, addr=0x5000)
+        # discover the return once so it's in the BTB
+        bpu.predict_block(call, True, 0x5000)
+        bpu.predict_block(ret, True, call.end_addr)
+        # second round: call pushes, return should pop correctly
+        bpu.predict_block(call, True, 0x5000)
+        result = bpu.predict_block(ret, True, call.end_addr)
+        assert result.mispredict is MispredictKind.NONE
+
+
+class TestMispredictKind:
+    def test_resteer_flags(self):
+        assert not MispredictKind.NONE.is_resteer
+        for kind in (MispredictKind.COND_MISPREDICT,
+                     MispredictKind.INDIRECT_MISPREDICT,
+                     MispredictKind.RETURN_MISPREDICT,
+                     MispredictKind.BTB_MISS):
+            assert kind.is_resteer
+
+    def test_predecode_resolution(self):
+        assert MispredictKind.BTB_MISS.resolves_at_predecode
+        assert not MispredictKind.COND_MISPREDICT.resolves_at_predecode

@@ -1,0 +1,69 @@
+"""Tests for the set-associative BTB."""
+
+import pytest
+
+from repro.branch.btb import BTB
+
+
+class TestBTBBasics:
+    def test_miss_on_empty(self):
+        btb = BTB(num_entries=64, assoc=4)
+        assert btb.lookup(0x1000) is None
+
+    def test_insert_then_hit(self):
+        btb = BTB(num_entries=64, assoc=4)
+        btb.insert(0x1000, 0x2000, "direct")
+        entry = btb.lookup(0x1000)
+        assert entry is not None
+        assert entry.target == 0x2000
+        assert entry.kind == "direct"
+
+    def test_update_in_place(self):
+        btb = BTB(num_entries=64, assoc=4)
+        btb.insert(0x1000, 0x2000, "indirect")
+        btb.insert(0x1000, 0x3000, "indirect")
+        assert btb.lookup(0x1000).target == 0x3000
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            BTB(num_entries=10, assoc=4)
+
+    def test_hit_rate(self):
+        btb = BTB(num_entries=64, assoc=4)
+        btb.insert(0x1000, 0x2000, "direct")
+        btb.lookup(0x1000)
+        btb.lookup(0x9999)
+        assert btb.hit_rate() == pytest.approx(0.5)
+
+    def test_storage_matches_paper(self):
+        """Table 1 prices an 8K-entry BTB at 119.01 KB; ours lands close."""
+        btb = BTB(num_entries=8192, assoc=8)
+        assert btb.storage_kb == pytest.approx(119.01, rel=0.05)
+
+
+class TestBTBReplacement:
+    def test_set_eviction_is_lru(self):
+        btb = BTB(num_entries=8, assoc=2)  # 4 sets
+        # three PCs mapping to the same set (stride = 4 * num_sets words)
+        stride = 4 * btb.num_sets * 4
+        pcs = [0x1000, 0x1000 + stride, 0x1000 + 2 * stride]
+        btb.insert(pcs[0], 1, "direct")
+        btb.insert(pcs[1], 2, "direct")
+        btb.lookup(pcs[0])            # make pcs[0] most recent
+        btb.insert(pcs[2], 3, "direct")  # evicts pcs[1]
+        assert btb.lookup(pcs[0]) is not None
+        assert btb.lookup(pcs[1]) is None
+        assert btb.lookup(pcs[2]) is not None
+
+    def test_capacity_never_exceeded(self):
+        btb = BTB(num_entries=16, assoc=4)
+        for i in range(200):
+            btb.insert(0x1000 + i * 4, i, "direct")
+        resident = sum(len(ways) for ways in btb._sets.values())
+        assert resident <= 16
+
+    def test_evictions_counted(self):
+        btb = BTB(num_entries=4, assoc=1)
+        for i in range(20):
+            btb.insert(0x1000 + i * 4, i, "direct")
+        assert btb.evictions > 0

@@ -1,0 +1,71 @@
+"""Tests for the gshare conditional predictor."""
+
+import pytest
+
+from repro.branch.bpu import BranchPredictionUnit
+from repro.branch.gshare import GsharePredictor
+
+
+class TestGshare:
+    def test_learns_bias(self):
+        g = GsharePredictor(log_entries=10, history_bits=6)
+        for _ in range(30):
+            pred = g.predict(0x1000)
+            g.update(0x1000, True, pred)
+        assert g.predict(0x1000) is True
+
+    def test_learns_alternation_via_history(self):
+        g = GsharePredictor(log_entries=12, history_bits=8)
+        pattern = [True, False] * 200
+        correct = 0
+        for i, taken in enumerate(pattern):
+            pred = g.predict(0x1000)
+            if i >= 100:
+                correct += (pred == taken)
+            g.update(0x1000, taken, pred)
+        assert correct / 300 > 0.9
+
+    def test_mispredict_rate(self):
+        g = GsharePredictor()
+        pred = g.predict(0x100)
+        g.update(0x100, not pred, pred)
+        assert g.mispredicts == 1
+        assert g.mispredict_rate() == 1.0
+
+    def test_storage(self):
+        g = GsharePredictor(log_entries=14)
+        assert g.storage_kb == pytest.approx(4.0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(log_entries=0)
+
+    def test_swaps_into_bpu(self):
+        """The BPU accepts any predict/update-shaped conditional
+        predictor (Section 7.6 BPU-sensitivity methodology)."""
+        bpu = BranchPredictionUnit(btb_entries=256, btb_assoc=4, seed=1,
+                                   tage=GsharePredictor())
+        from repro.workloads.layout import BasicBlock, BranchKind
+
+        blk = BasicBlock(bid=0, addr=0x1000, num_instructions=4,
+                         kind=BranchKind.COND, taken_target=1, fallthrough=2)
+        mis = 0
+        for i in range(50):
+            result = bpu.predict_block(blk, True, 0x2000)
+            if i > 10 and result.mispredict.is_resteer:
+                mis += 1
+        assert mis <= 2
+
+    def test_machine_runs_with_gshare(self):
+        from repro.branch.bpu import BranchPredictionUnit
+        from repro.simulator.machine import Machine
+        from repro.workloads.generator import generate_layout
+        from repro.workloads.profiles import WorkloadProfile
+
+        profile = WorkloadProfile(name="gshare-test", num_functions=50,
+                                  num_handlers=6, num_leaves=8, call_depth=3)
+        layout = generate_layout(profile, seed=1)
+        bpu = BranchPredictionUnit(seed=1, tage=GsharePredictor())
+        machine = Machine(layout, profile, bpu=bpu, seed=1)
+        stats = machine.run(4000, warmup=800)
+        assert stats.instructions >= 4000

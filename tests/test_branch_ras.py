@@ -1,0 +1,57 @@
+"""Tests for the return address stack."""
+
+import pytest
+
+from repro.branch.ras import ReturnAddressStack
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(depth=8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_pop_empty_returns_none(self):
+        ras = ReturnAddressStack(depth=4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_peek_does_not_pop(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x300)
+        assert ras.peek() == 0x300
+        assert len(ras) == 1
+
+    def test_peek_empty(self):
+        assert ReturnAddressStack(depth=4).peek() is None
+
+    def test_len(self):
+        ras = ReturnAddressStack(depth=4)
+        for i in range(3):
+            ras.push(i)
+        assert len(ras) == 3
+
+    def test_overflow_wraps_and_loses_oldest(self):
+        ras = ReturnAddressStack(depth=3)
+        for addr in (1, 2, 3, 4):
+            ras.push(addr)
+        # depth 3: the oldest (1) was overwritten
+        assert ras.pop() == 4
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+    def test_interleaved_lifo(self):
+        ras = ReturnAddressStack(depth=16)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 1

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "noop", "baseline", "--instructions", "5000"])
+        assert args.benchmark == "noop"
+        assert args.instructions == 5000
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bogus", "baseline"])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "noop", "bogus"])
+
+    def test_figure_ids(self):
+        for fig in FIGURES:
+            args = build_parser().parse_args(["figure", fig])
+            assert args.figure == fig
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cassandra" in out
+        assert "pdip_44" in out
+        assert "fig10" in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "noop", "baseline", "--instructions", "4000",
+                   "--warmup", "800", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_run_prefetcher_shows_ppki(self, capsys):
+        main(["run", "noop", "pdip_44", "--instructions", "4000",
+              "--warmup", "800", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "noop / pdip_44" in out
+
+    def test_suite_with_geomean(self, capsys):
+        rc = main(["suite", "--benchmarks", "noop",
+                   "--policies", "baseline,pdip_44",
+                   "--instructions", "4000", "--warmup", "800"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "geomean speedup pdip_44" in out
+
+    def test_workload(self, capsys):
+        rc = main(["workload", "noop", "--instructions", "20000"])
+        assert rc == 0
+        assert "branch mix" in capsys.readouterr().out
+
+    def test_figure_instant(self, capsys):
+        rc = main(["figure", "tab05"])
+        assert rc == 0
+        assert "PDIP(44)" in capsys.readouterr().out
+
+    def test_trace_record_and_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "noop.trace")
+        rc = main(["trace", "record", "noop", path, "--blocks", "8000"])
+        assert rc == 0
+        assert "recorded" in capsys.readouterr().out
+        rc = main(["trace", "replay", "noop", path,
+                   "--instructions", "3000", "--warmup", "500"])
+        assert rc == 0
+        assert "replayed" in capsys.readouterr().out

@@ -1,0 +1,39 @@
+"""Every registered figure module must expose the driver surface."""
+
+import importlib
+
+import pytest
+
+from repro.cli import FIGURES
+
+
+@pytest.mark.parametrize("figure_id", sorted(FIGURES))
+def test_driver_surface(figure_id):
+    module = importlib.import_module(FIGURES[figure_id])
+    assert callable(getattr(module, "run"))
+    assert callable(getattr(module, "render"))
+    assert callable(getattr(module, "main"))
+
+
+@pytest.mark.parametrize("figure_id", sorted(FIGURES))
+def test_driver_documented(figure_id):
+    module = importlib.import_module(FIGURES[figure_id])
+    assert module.__doc__ and len(module.__doc__) > 40
+
+
+def test_all_paper_artifacts_registered():
+    for fig in ("fig01", "fig03", "fig04", "fig09", "fig10", "fig11",
+                "fig12", "fig13", "fig14", "fig15", "fig16",
+                "tab01", "tab04", "tab05"):
+        assert fig in FIGURES
+
+
+def test_benches_exist_for_every_figure(tmp_path):
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+    stems = {p.stem for p in bench_dir.glob("bench_*.py")}
+    for figure_id, module in FIGURES.items():
+        name = module.rsplit(".", 1)[1]
+        assert any(name in stem or figure_id in stem for stem in stems), \
+            f"no bench for {figure_id}"

@@ -1,0 +1,132 @@
+"""Tests for the FEC classifier."""
+
+import pytest
+
+from repro.branch.bpu import MispredictKind
+from repro.core.fec import FECClassifier, TriggerType
+from repro.frontend.ftq import FTQEntry
+from repro.workloads.layout import BasicBlock
+
+
+def entry(bid=0, missed=None, pending=None, starvation=0,
+          backend_starved=False, since_resteer=1):
+    block = BasicBlock(bid=bid, addr=0x1000 + bid * 64, num_instructions=4)
+    e = FTQEntry(block=block, lines=block.lines(), enqueue_cycle=0)
+    e.missed_lines = list(missed or [])
+    e.pending_lines = list(pending or [])
+    e.starvation_cycles = starvation
+    e.backend_starved = backend_starved
+    e.entries_since_resteer = since_resteer
+    return e
+
+
+class TestQualification:
+    def test_no_miss_no_event(self):
+        fec = FECClassifier()
+        events = fec.on_retire(entry(starvation=20),
+                               MispredictKind.COND_MISPREDICT, 5, None)
+        assert events == []
+
+    def test_no_starvation_no_event(self):
+        fec = FECClassifier()
+        events = fec.on_retire(entry(missed=[70], starvation=0),
+                               MispredictKind.COND_MISPREDICT, 5, None)
+        assert events == []
+
+    def test_miss_plus_starvation_qualifies(self):
+        fec = FECClassifier()
+        events = fec.on_retire(entry(missed=[70], starvation=8),
+                               MispredictKind.COND_MISPREDICT, 5, None)
+        assert len(events) == 1
+        assert events[0].line == 70
+        assert events[0].starvation_cycles == 8
+        assert 70 in fec.fec_lines
+
+    def test_pending_lines_qualify(self):
+        fec = FECClassifier()
+        events = fec.on_retire(entry(pending=[71], starvation=4),
+                               MispredictKind.COND_MISPREDICT, 5, None)
+        assert [e.line for e in events] == [71]
+
+    def test_duplicate_lines_deduped(self):
+        fec = FECClassifier()
+        events = fec.on_retire(entry(missed=[70], pending=[70], starvation=4),
+                               MispredictKind.COND_MISPREDICT, 5, None)
+        assert len(events) == 1
+
+
+class TestTriggerAttribution:
+    def test_in_wake_uses_resteer_trigger(self):
+        fec = FECClassifier(wake_window=24)
+        events = fec.on_retire(
+            entry(missed=[70], starvation=4, since_resteer=3),
+            MispredictKind.COND_MISPREDICT, 55, 99)
+        assert events[0].trigger_type is TriggerType.MISPREDICT
+        assert events[0].trigger_line == 55
+        assert events[0].resteer_kind is MispredictKind.COND_MISPREDICT
+
+    def test_btb_miss_wake_labeled(self):
+        fec = FECClassifier()
+        events = fec.on_retire(
+            entry(missed=[70], starvation=4, since_resteer=3),
+            MispredictKind.BTB_MISS, 55, 99)
+        assert events[0].trigger_type is TriggerType.BTB_MISS
+
+    def test_outside_wake_uses_last_taken(self):
+        fec = FECClassifier(wake_window=24)
+        events = fec.on_retire(
+            entry(missed=[70], starvation=4, since_resteer=100),
+            MispredictKind.COND_MISPREDICT, 55, 99)
+        assert events[0].trigger_type is TriggerType.LAST_TAKEN
+        assert events[0].trigger_line == 99
+        assert events[0].resteer_kind is None
+
+    def test_no_resteer_info_uses_last_taken(self):
+        fec = FECClassifier()
+        events = fec.on_retire(
+            entry(missed=[70], starvation=4, since_resteer=3),
+            None, None, 99)
+        assert events[0].trigger_type is TriggerType.LAST_TAKEN
+
+
+class TestHighCost:
+    def test_high_cost_threshold(self):
+        fec = FECClassifier(high_cost_threshold=10)
+        fec.on_retire(entry(missed=[70], starvation=11, backend_starved=True),
+                      MispredictKind.COND_MISPREDICT, 5, None)
+        fec.on_retire(entry(missed=[71], starvation=9, backend_starved=True),
+                      MispredictKind.COND_MISPREDICT, 5, None)
+        assert fec.high_cost_events == 1
+        assert fec.high_cost_backend_events == 1
+
+    def test_backend_flag_required_for_backend_count(self):
+        fec = FECClassifier(high_cost_threshold=10)
+        fec.on_retire(entry(missed=[70], starvation=20, backend_starved=False),
+                      MispredictKind.COND_MISPREDICT, 5, None)
+        assert fec.high_cost_events == 1
+        assert fec.high_cost_backend_events == 0
+
+    def test_event_is_high_cost_helper(self):
+        fec = FECClassifier()
+        events = fec.on_retire(entry(missed=[70], starvation=15),
+                               MispredictKind.COND_MISPREDICT, 5, None)
+        assert events[0].is_high_cost(10)
+        assert not events[0].is_high_cost(20)
+
+
+class TestStatistics:
+    def test_fraction_tracking(self):
+        fec = FECClassifier()
+        fec.on_retire(entry(bid=0, missed=[64], starvation=5),
+                      MispredictKind.COND_MISPREDICT, 5, None)
+        fec.on_retire(entry(bid=1), None, None, None)
+        fec.on_retire(entry(bid=2), None, None, None)
+        assert 0.0 < fec.fec_line_fraction() < 1.0
+
+    def test_starvation_accumulates(self):
+        fec = FECClassifier()
+        fec.on_retire(entry(missed=[70], starvation=5),
+                      MispredictKind.COND_MISPREDICT, 5, None)
+        fec.on_retire(entry(missed=[71], starvation=7),
+                      MispredictKind.COND_MISPREDICT, 5, None)
+        assert fec.fec_starvation_cycles == 12

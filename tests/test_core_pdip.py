@@ -1,0 +1,130 @@
+"""Tests for the PDIP controller."""
+
+import pytest
+
+from repro.branch.bpu import MispredictKind
+from repro.core.fec import FECEvent, TriggerType
+from repro.core.pdip import PDIPConfig, PDIPController
+from repro.frontend.ftq import FTQEntry
+from repro.frontend.prefetch_queue import PrefetchQueue
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.workloads.layout import BasicBlock
+
+
+def make_pdip(**config_kw):
+    hierarchy = MemoryHierarchy(config=HierarchyConfig())
+    pq = PrefetchQueue(hierarchy)
+    cfg = PDIPConfig(**config_kw)
+    return PDIPController(pq, config=cfg, seed=1), pq, hierarchy
+
+
+def event(line=900, starvation=20, backend=True, trigger=55,
+          ttype=TriggerType.MISPREDICT,
+          resteer=MispredictKind.COND_MISPREDICT):
+    return FECEvent(line=line, starvation_cycles=starvation,
+                    backend_starved=backend, trigger_line=trigger,
+                    trigger_type=ttype, resteer_kind=resteer)
+
+
+def ftq_entry(lines):
+    block = BasicBlock(bid=0, addr=lines[0] * 64, num_instructions=4)
+    return FTQEntry(block=block, lines=list(lines), enqueue_cycle=0)
+
+
+class TestInsertion:
+    def test_qualifying_event_inserted(self):
+        pdip, _, _ = make_pdip(insert_prob=1.0)
+        pdip.on_fec_events([event()], cycle=0)
+        assert pdip.inserted_events == 1
+        assert [l for l, _ in pdip.table.lookup(55)] == [900]
+
+    def test_low_cost_filtered(self):
+        pdip, _, _ = make_pdip(insert_prob=1.0, high_cost_threshold=10)
+        pdip.on_fec_events([event(starvation=5)], cycle=0)
+        assert pdip.inserted_events == 0
+
+    def test_backend_stall_required(self):
+        pdip, _, _ = make_pdip(insert_prob=1.0)
+        pdip.on_fec_events([event(backend=False)], cycle=0)
+        assert pdip.inserted_events == 0
+
+    def test_filters_can_be_disabled(self):
+        pdip, _, _ = make_pdip(insert_prob=1.0, require_high_cost=False,
+                               require_backend_stall=False)
+        pdip.on_fec_events([event(starvation=1, backend=False)], cycle=0)
+        assert pdip.inserted_events == 1
+
+    def test_return_triggers_ignored(self):
+        pdip, _, _ = make_pdip(insert_prob=1.0)
+        pdip.on_fec_events(
+            [event(resteer=MispredictKind.RETURN_MISPREDICT)], cycle=0)
+        assert pdip.inserted_events == 0
+
+    def test_return_triggers_kept_when_configured(self):
+        pdip, _, _ = make_pdip(insert_prob=1.0, ignore_return_triggers=False)
+        pdip.on_fec_events(
+            [event(resteer=MispredictKind.RETURN_MISPREDICT)], cycle=0)
+        assert pdip.inserted_events == 1
+
+    def test_missing_trigger_skipped(self):
+        pdip, _, _ = make_pdip(insert_prob=1.0)
+        pdip.on_fec_events([event(trigger=None)], cycle=0)
+        assert pdip.inserted_events == 0
+
+    def test_insert_probability_statistical(self):
+        pdip, _, _ = make_pdip(insert_prob=0.25)
+        for i in range(1000):
+            pdip.on_fec_events([event(line=900 + i, trigger=55 + i)], cycle=0)
+        assert 0.18 < pdip.inserted_events / 1000 < 0.32
+
+
+class TestTriggerLookup:
+    def test_hit_requests_prefetch(self):
+        pdip, pq, _ = make_pdip(insert_prob=1.0)
+        pdip.on_fec_events([event(trigger=55, line=900)], cycle=0)
+        pdip.on_ftq_enqueue(ftq_entry([55]), cycle=10)
+        assert pdip.prefetch_requests == 1
+        assert len(pq) == 1
+
+    def test_miss_requests_nothing(self):
+        pdip, pq, _ = make_pdip(insert_prob=1.0)
+        pdip.on_ftq_enqueue(ftq_entry([123]), cycle=10)
+        assert pdip.prefetch_requests == 0
+
+    def test_multi_line_entry_checks_every_line(self):
+        pdip, pq, _ = make_pdip(insert_prob=1.0)
+        pdip.on_fec_events([event(trigger=56, line=900)], cycle=0)
+        pdip.on_ftq_enqueue(ftq_entry([55, 56]), cycle=10)
+        assert pdip.prefetch_requests == 1
+
+    def test_mask_expansion_prefetches_following_blocks(self):
+        pdip, pq, _ = make_pdip(insert_prob=1.0)
+        pdip.on_fec_events([event(trigger=55, line=900),
+                            event(trigger=55, line=902)], cycle=0)
+        pdip.on_ftq_enqueue(ftq_entry([55]), cycle=10)
+        assert pdip.prefetch_requests == 2
+
+
+class TestTriggerDistribution:
+    def test_distribution_counts_issued(self):
+        pdip, _, _ = make_pdip(insert_prob=1.0)
+        pdip.on_fec_events([event(trigger=55, line=900)], cycle=0)
+        pdip.on_fec_events(
+            [event(trigger=66, line=910, ttype=TriggerType.LAST_TAKEN,
+                   resteer=None)], cycle=0)
+        for _ in range(3):
+            pdip.on_ftq_enqueue(ftq_entry([55]), cycle=10)
+        pdip.on_ftq_enqueue(ftq_entry([66]), cycle=10)
+        mis, last = pdip.trigger_distribution()
+        assert mis == pytest.approx(0.75)
+        assert last == pytest.approx(0.25)
+
+    def test_empty_distribution(self):
+        pdip, _, _ = make_pdip()
+        assert pdip.trigger_distribution() == (0.0, 0.0)
+
+
+class TestStorage:
+    def test_storage_matches_table(self):
+        pdip, _, _ = make_pdip(assoc=8)
+        assert pdip.storage_kb == pytest.approx(43.5)

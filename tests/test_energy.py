@@ -1,0 +1,65 @@
+"""Tests for the SRAM area/energy model (Table 5 substrate)."""
+
+import pytest
+
+from repro.energy.model import CoreEnergyModel, pdip_overheads
+from repro.energy.sram import SRAMModel
+
+
+class TestSRAM:
+    def test_bits(self):
+        sram = SRAMModel("t", num_sets=512, assoc=8,
+                         payload_bits_per_way=77, tag_bits=10)
+        assert sram.total_bits == 512 * 8 * 87
+
+    def test_area_scales_with_bits(self):
+        small = SRAMModel("s", 512, 2, 77, 10).estimate()
+        big = SRAMModel("b", 512, 8, 77, 10).estimate()
+        assert big.area_mm2 > 3.5 * small.area_mm2
+
+    def test_read_energy_scales_with_assoc(self):
+        """Tag match touches every way, so energy grows with assoc."""
+        low = SRAMModel("l", 512, 2, 77, 10).estimate()
+        high = SRAMModel("h", 512, 16, 77, 10).estimate()
+        assert high.read_energy_pj > low.read_energy_pj
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SRAMModel("x", 0, 8, 77, 10)
+
+
+class TestPDIPOverheads:
+    def test_four_configs(self):
+        rows = pdip_overheads()
+        assert [r.label for r in rows] == [
+            "PDIP(11)", "PDIP(22)", "PDIP(44)", "PDIP(87)"]
+
+    def test_table_sizes(self):
+        rows = pdip_overheads()
+        assert rows[0].table_kb == pytest.approx(10.875)
+        assert rows[2].table_kb == pytest.approx(43.5)
+
+    def test_area_monotone(self):
+        rows = pdip_overheads()
+        areas = [r.area_pct for r in rows]
+        assert areas == sorted(areas)
+        assert areas[0] > 0
+
+    def test_energy_saturates(self):
+        """The paper's energy column saturates (0.62 -> 0.64 from 44 to
+        87 KB) because lookups read one way regardless of assoc."""
+        rows = pdip_overheads()
+        e44, e87 = rows[2].energy_pct, rows[3].energy_pct
+        assert e87 / e44 < 1.6
+
+    def test_overheads_small_vs_core(self):
+        for row in pdip_overheads():
+            assert row.energy_pct < 5.0
+            assert row.area_pct < 10.0
+
+    def test_paper_magnitude(self):
+        """Same order of magnitude as Table 5 (fractions of a percent
+        energy, a few percent area at most)."""
+        rows = {r.label: r for r in pdip_overheads()}
+        assert 0.05 < rows["PDIP(44)"].energy_pct < 3.0
+        assert 0.1 < rows["PDIP(44)"].area_pct < 5.0

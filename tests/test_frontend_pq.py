@@ -1,0 +1,65 @@
+"""Tests for the prefetch queue."""
+
+import pytest
+
+from repro.frontend.prefetch_queue import PrefetchQueue
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(config=HierarchyConfig())
+
+
+@pytest.fixture
+def pq(hierarchy):
+    return PrefetchQueue(hierarchy, capacity=4, issue_width=2,
+                         mshr_reserve=2)
+
+
+class TestRequest:
+    def test_enqueue(self, pq):
+        assert pq.request(100)
+        assert len(pq) == 1
+
+    def test_duplicate_dropped(self, pq):
+        pq.request(100)
+        assert not pq.request(100)
+        assert len(pq) == 1
+
+    def test_full_drops(self, pq):
+        for i in range(4):
+            assert pq.request(100 + i)
+        assert not pq.request(999)
+        assert pq.dropped_full == 1
+
+
+class TestTick:
+    def test_issues_up_to_width(self, pq, hierarchy):
+        for i in range(4):
+            pq.request(100 + i)
+        assert pq.tick(cycle=0) == 2
+        assert len(pq) == 2
+        assert hierarchy.prefetches_issued == 2
+
+    def test_resident_lines_filtered(self, pq, hierarchy):
+        hierarchy.fetch_instruction(100, cycle=0)
+        pq.request(100)
+        assert pq.tick(cycle=1000) == 0
+        assert pq.filtered_resident == 1
+
+    def test_mshr_pressure_drops(self, pq, hierarchy):
+        # consume MSHRs down to the reserve
+        for i in range(hierarchy.config.l1i_mshrs - 2):
+            hierarchy.fetch_instruction(1000 + i, cycle=0)
+        pq.request(100)
+        assert pq.tick(cycle=0) == 0
+        assert hierarchy.prefetches_dropped == 1
+
+    def test_flush(self, pq):
+        for i in range(3):
+            pq.request(100 + i)
+        pq.flush()
+        assert len(pq) == 0
+        # the same line can be requested again after a flush
+        assert pq.request(100)

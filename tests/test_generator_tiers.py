@@ -1,0 +1,86 @@
+"""Tests for the tiered call-graph directory inside the generator."""
+
+import pytest
+
+from repro.utils import derive_rng
+from repro.workloads.generator import _CalleeDirectory
+from repro.workloads.profiles import WorkloadProfile
+
+
+def directory(**kw):
+    profile = WorkloadProfile(name="tier-test", num_functions=200,
+                              num_handlers=20, num_leaves=20, call_depth=5,
+                              **kw)
+    return _CalleeDirectory(profile, derive_rng(1, "layout:tier-test")), profile
+
+
+class TestTierStructure:
+    def test_tier_zero_is_handlers(self):
+        d, p = directory()
+        assert d.tiers[0] == list(range(1, 1 + p.num_handlers))
+
+    def test_tiers_partition_mid_functions(self):
+        d, p = directory()
+        mids = [fid for tier in d.tiers[1:] for fid in tier]
+        assert sorted(mids) == list(range(1 + p.num_handlers, d.first_leaf))
+
+    def test_tier_sizes_grow(self):
+        d, _ = directory()
+        sizes = [len(t) for t in d.tiers[1:]]
+        assert sizes[-1] >= sizes[0]
+
+    def test_every_function_has_a_tier(self):
+        d, p = directory()
+        for fid in range(1, p.num_functions):
+            assert fid in d.tier_of
+
+    def test_leaves_below_last_tier(self):
+        d, _ = directory()
+        leaf_tier = d.tier_of[d.leaf_fids[0]]
+        assert leaf_tier == len(d.tiers)
+
+
+class TestCalleeSampling:
+    def test_callee_strictly_deeper_or_leaf(self):
+        d, p = directory()
+        for tier_idx, tier in enumerate(d.tiers[:-1]):
+            for caller in tier[:3]:
+                for _ in range(20):
+                    callee = d.sample_callee(caller)
+                    assert callee is not None
+                    callee_tier = d.tier_of[callee]
+                    assert (callee_tier == tier_idx + 1
+                            or callee in d.leaf_fids)
+
+    def test_last_tier_calls_only_leaves(self):
+        d, _ = directory()
+        caller = d.tiers[-1][0]
+        for _ in range(20):
+            callee = d.sample_callee(caller)
+            assert callee in d.leaf_fids
+
+    def test_leaf_call_frac_one_always_leaves(self):
+        d, _ = directory(leaf_call_frac=1.0)
+        caller = d.tiers[0][0]
+        for _ in range(20):
+            assert d.sample_callee(caller) in d.leaf_fids
+
+
+class TestCallSiteCounts:
+    def test_leaves_get_zero(self):
+        d, _ = directory()
+        assert d.num_call_sites(d.leaf_fids[0], 10) == 0
+
+    def test_capped_at_three(self):
+        d, _ = directory(call_sites_mean=3.0)
+        for _ in range(20):
+            assert d.num_call_sites(1, 12) <= 3
+
+    def test_capped_by_block_count(self):
+        d, _ = directory(call_sites_mean=3.0)
+        assert d.num_call_sites(1, 2) <= 1
+
+    def test_mean_respected_statistically(self):
+        d, _ = directory(call_sites_mean=1.5)
+        samples = [d.num_call_sites(1, 12) for _ in range(2000)]
+        assert 1.3 < sum(samples) / len(samples) < 1.7

@@ -1,0 +1,163 @@
+"""Integration tests: whole-machine behaviours across modules.
+
+These use a mid-sized synthetic workload and moderate instruction budgets
+(tens of thousands), enough for the mechanisms to engage without making
+the suite slow. Assertions are directional (PDIP reduces FEC stalls, the
+oracle beats everything, prefetchers actually prefetch) rather than
+bit-exact.
+"""
+
+import pytest
+
+from repro.simulator.config import MachineConfig
+from repro.simulator.policies import PolicySpec, build_machine, get_policy
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import WorkloadProfile
+
+#: a miss-heavy but quick profile (cassandra-like, shrunk ~3x)
+HEAVY = WorkloadProfile(
+    name="itest-heavy", num_functions=600, num_handlers=48, num_leaves=30,
+    call_depth=6, call_sites_mean=2.0, tier_growth=1.25,
+    indirect_call_frac=0.4, indirect_call_fanout=6,
+    leaf_call_frac=0.08, loop_back_prob=0.06,
+    handler_zipf_alpha=0.15, callee_zipf_alpha=0.15,
+    backend_stall_prob=0.10, data_access_prob=0.04, data_lines=1500,
+)
+
+N, WARM = 60_000, 30_000
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return generate_layout(HEAVY, seed=5)
+
+
+def run(layout, policy, seed=5, config=None, **overrides):
+    if isinstance(policy, str):
+        spec = get_policy(policy)
+    else:
+        spec = policy
+    machine = build_machine(layout, HEAVY, spec, config=config, seed=seed)
+    stats = machine.run(N, warmup=WARM)
+    return machine, stats
+
+
+@pytest.fixture(scope="module")
+def baseline(layout):
+    return run(layout, "baseline")[1]
+
+
+class TestBaselineRegime:
+    """The substrate must sit in the paper's front-end-bound regime."""
+
+    def test_miss_heavy(self, baseline):
+        assert baseline.l1i_mpki > 20  # Section 6.3's selection threshold
+
+    def test_frontend_bound_dominates(self, baseline):
+        td = baseline.topdown
+        assert td["frontend_bound"] > td["backend_bound"]
+        assert td["frontend_bound"] > 0.3
+
+    def test_fec_concentration(self, baseline):
+        """A minority of lines causes the majority of starvation (Fig 4)."""
+        assert baseline.fec_line_fraction < 0.6
+        assert baseline.fec_starvation_fraction > 0.4
+        assert baseline.fec_starvation_fraction > baseline.fec_line_fraction
+
+
+class TestPDIPEndToEnd:
+    def test_pdip_learns_and_prefetches(self, layout):
+        machine, stats = run(layout, "pdip_44")
+        assert machine.prefetcher.inserted_events > 0
+        assert machine.prefetcher.table.hits > 0
+        assert stats.prefetches_issued > 0
+
+    def test_pdip_reduces_fec_starvation(self, layout, baseline):
+        _, stats = run(layout, "pdip_44")
+        assert stats.fec_starvation_cycles < baseline.fec_starvation_cycles
+
+    def test_pdip_not_slower(self, layout, baseline):
+        _, stats = run(layout, "pdip_44")
+        assert stats.ipc > baseline.ipc * 0.995
+
+    def test_prefetches_get_used(self, layout):
+        _, stats = run(layout, "pdip_44")
+        assert stats.prefetch_useful + stats.prefetch_late > 0
+
+    def test_triggers_mostly_mispredicts(self, layout):
+        """Fig 16: mispredict-family triggers dominate."""
+        machine, _ = run(layout, "pdip_44")
+        mis, last = machine.prefetcher.trigger_distribution()
+        assert mis > last
+
+    def test_bigger_table_not_worse(self, layout):
+        _, small = run(layout, "pdip_11")
+        _, large = run(layout, "pdip_87")
+        assert large.ipc >= small.ipc * 0.99
+
+
+class TestOracleOrdering:
+    def test_fec_ideal_beats_baseline(self, layout, baseline):
+        _, stats = run(layout, "fec_ideal")
+        assert stats.ipc > baseline.ipc * 1.01
+
+    def test_fec_ideal_beats_pdip(self, layout):
+        _, pdip = run(layout, "pdip_44")
+        _, ideal = run(layout, "fec_ideal")
+        assert ideal.ipc > pdip.ipc
+
+    def test_zero_cost_at_least_as_good(self, layout):
+        _, real = run(layout, "pdip_44")
+        _, zero = run(layout, "pdip_44_zero_cost")
+        assert zero.prefetch_late == 0
+        assert zero.ipc >= real.ipc * 0.99
+
+
+class TestEIP:
+    def test_eip_prefetches(self, layout):
+        machine, stats = run(layout, "eip_46")
+        assert machine.prefetcher.entangles > 0
+        assert stats.prefetches_issued > 0
+
+    def test_analytical_issues_more(self, layout):
+        _, budgeted = run(layout, "eip_46")
+        _, analytical = run(layout, "eip_analytical")
+        assert analytical.ppki >= budgeted.ppki
+
+
+class TestEmissary:
+    def test_emissary_protects_l2_instruction_lines(self, layout, baseline):
+        _, stats = run(layout, "emissary")
+        assert stats.l2_inst_misses <= baseline.l2_inst_misses
+
+    def test_emissary_promotions_happen(self, layout):
+        machine, _ = run(layout, "emissary")
+        assert machine.hierarchy.l2_policy.promotions > 0
+
+
+class TestCacheSizeEffects:
+    def test_2x_il1_reduces_l1_misses(self, layout, baseline):
+        _, stats = run(layout, "2x_il1")
+        assert stats.l1i_misses < baseline.l1i_misses
+
+    def test_btb_scaling_reduces_btb_resteers(self, layout):
+        _, small = run(layout, "baseline",
+                       config=MachineConfig(btb_entries=1024))
+        _, large = run(layout, "baseline",
+                       config=MachineConfig(btb_entries=32768))
+        assert large.resteers_btb_miss < small.resteers_btb_miss
+
+
+class TestStatsConsistency:
+    def test_prefetch_accounting_balances(self, layout):
+        """Resolved prefetches never exceed issued ones."""
+        _, stats = run(layout, "pdip_44")
+        resolved = (stats.prefetch_useful + stats.prefetch_late
+                    + stats.prefetch_useless)
+        assert resolved <= stats.prefetches_issued
+
+    def test_miss_hierarchy_sane(self, layout, baseline):
+        """Inner levels see at most the outer level's misses (instruction
+        side), modulo the data stream sharing L2/L3."""
+        assert baseline.l2_inst_misses <= baseline.l1i_misses
+        assert baseline.l1i_misses <= baseline.l1i_accesses

@@ -1,0 +1,144 @@
+"""Focused behavioural tests of the machine's corner cases."""
+
+import pytest
+
+from repro.simulator.config import MachineConfig
+from repro.simulator.machine import Machine
+from repro.simulator.policies import build_machine, get_policy
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import WorkloadProfile
+
+LONG_BLOCKS = WorkloadProfile(
+    name="long-blocks", num_functions=60, num_handlers=8, num_leaves=10,
+    call_depth=3, mean_instructions_per_block=20,
+    max_instructions_per_block=64)
+
+SMALL = WorkloadProfile(name="behav-test", num_functions=60, num_handlers=8,
+                        num_leaves=10, call_depth=3)
+
+
+class TestPartialDecode:
+    """Blocks longer than the decode width must decode over several
+    cycles (verilator's BOLTed long blocks)."""
+
+    def test_long_block_workload_runs(self):
+        layout = generate_layout(LONG_BLOCKS, seed=6)
+        machine = Machine(layout, LONG_BLOCKS, seed=6)
+        stats = machine.run(5000, warmup=500)
+        assert stats.instructions >= 5000
+
+    def test_decode_width_bounds_retiring_slots(self):
+        layout = generate_layout(LONG_BLOCKS, seed=6)
+        machine = Machine(layout, LONG_BLOCKS, seed=6)
+        stats = machine.run(5000, warmup=500)
+        assert stats.slots_retiring <= stats.slots_total
+
+    def test_narrow_decode_hurts(self):
+        layout = generate_layout(LONG_BLOCKS, seed=6)
+        wide = Machine(layout, LONG_BLOCKS,
+                       config=MachineConfig(decode_width=12), seed=6)
+        narrow = Machine(layout, LONG_BLOCKS,
+                         config=MachineConfig(decode_width=2), seed=6)
+        assert narrow.run(4000, warmup=500).ipc < wide.run(4000, warmup=500).ipc
+
+
+class TestMSHRDeferral:
+    """FDIP fills that cannot get an MSHR defer to demand time instead of
+    stalling the FTQ."""
+
+    def test_tiny_mshr_pool_still_makes_progress(self):
+        from repro.memory.hierarchy import HierarchyConfig
+
+        layout = generate_layout(SMALL, seed=6)
+        cfg = MachineConfig(hierarchy=HierarchyConfig(l1i_mshrs=2))
+        machine = Machine(layout, SMALL, config=cfg, seed=6)
+        stats = machine.run(4000, warmup=500)
+        assert stats.instructions >= 4000
+
+    def test_tiny_mshr_pool_costs_ipc(self):
+        from repro.memory.hierarchy import HierarchyConfig
+
+        layout = generate_layout(SMALL, seed=6)
+        few = Machine(layout, SMALL,
+                      config=MachineConfig(hierarchy=HierarchyConfig(
+                          l1i_mshrs=1)), seed=6)
+        many = Machine(layout, SMALL,
+                       config=MachineConfig(hierarchy=HierarchyConfig(
+                           l1i_mshrs=16)), seed=6)
+        assert few.run(5000, warmup=500).ipc <= many.run(5000, warmup=500).ipc
+
+
+class TestWrongPath:
+    def test_wrong_path_budget_respected(self):
+        layout = generate_layout(SMALL, seed=6)
+        machine = Machine(layout, SMALL,
+                          config=MachineConfig(wrongpath_max_blocks=1),
+                          seed=6)
+        stats = machine.run(4000, warmup=500)
+        # with a 1-block budget per resteer, wrong-path blocks cannot
+        # exceed resteer count
+        assert stats.wrong_path_blocks <= stats.resteers + 1
+
+    def test_wrong_path_pollutes_l1i(self):
+        """Wrong-path fetch touches the cache (it can help or hurt, but
+        it must be visible in access counts)."""
+        layout = generate_layout(SMALL, seed=6)
+        none = Machine(layout, SMALL,
+                       config=MachineConfig(wrongpath_max_blocks=0), seed=6)
+        lots = Machine(layout, SMALL,
+                       config=MachineConfig(wrongpath_max_blocks=64), seed=6)
+        stats_none = none.run(5000, warmup=500)
+        stats_lots = lots.run(5000, warmup=500)
+        assert stats_lots.wrong_path_blocks > stats_none.wrong_path_blocks
+        assert stats_none.wrong_path_blocks == 0
+
+
+class TestResteerLatencies:
+    def test_predecode_cheaper_than_execute(self):
+        """BTB-miss resteers resolve at pre-decode; making that as slow
+        as execute resolution must cost IPC."""
+        layout = generate_layout(SMALL, seed=6)
+        fast = Machine(layout, SMALL,
+                       config=MachineConfig(predecode_resteer_latency=3),
+                       seed=6)
+        slow = Machine(layout, SMALL,
+                       config=MachineConfig(predecode_resteer_latency=18),
+                       seed=6)
+        assert fast.run(6000, warmup=800).ipc > slow.run(6000, warmup=800).ipc
+
+    def test_redirect_penalty_costs(self):
+        layout = generate_layout(SMALL, seed=6)
+        fast = Machine(layout, SMALL,
+                       config=MachineConfig(redirect_penalty=1), seed=6)
+        slow = Machine(layout, SMALL,
+                       config=MachineConfig(redirect_penalty=10), seed=6)
+        assert fast.run(6000, warmup=800).ipc > slow.run(6000, warmup=800).ipc
+
+
+class TestPrefetchQueuePressure:
+    def test_small_pq_drops_requests(self):
+        layout = generate_layout(
+            SMALL.scaled(name="pq-test"), seed=6)
+        profile = SMALL.scaled(name="pq-test")
+        machine = build_machine(layout, profile, get_policy("eip_46"),
+                                config=MachineConfig(pq_capacity=2), seed=6)
+        machine.run(6000, warmup=800)
+        assert machine.pq.dropped_full >= 0  # bounded structure exercised
+        assert len(machine.pq) <= 2
+
+
+class TestIAGRunAhead:
+    def test_faster_iag_fills_ftq_deeper(self):
+        layout = generate_layout(SMALL, seed=6)
+        from repro.simulator.probe import TimelineProbe
+
+        slow = Machine(layout, SMALL,
+                       config=MachineConfig(iag_blocks_per_cycle=1), seed=6)
+        slow.probe = slow_probe = TimelineProbe(sample_every=5)
+        slow.run(4000, warmup=0)
+        fast = Machine(layout, SMALL,
+                       config=MachineConfig(iag_blocks_per_cycle=8), seed=6)
+        fast.probe = fast_probe = TimelineProbe(sample_every=5)
+        fast.run(4000, warmup=0)
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(fast_probe.ftq_occupancy) > mean(slow_probe.ftq_occupancy)

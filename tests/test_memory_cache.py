@@ -1,0 +1,107 @@
+"""Tests for the set-associative cache with pending fills and MSHRs."""
+
+import pytest
+
+from repro.memory.cache import Cache
+
+
+@pytest.fixture
+def cache():
+    # 4 KB, 4-way, 64B lines -> 64 lines, 16 sets
+    return Cache("test", size_kb=4, assoc=4, mshrs=4)
+
+
+class TestBasics:
+    def test_probe_empty(self, cache):
+        assert not cache.probe(5)
+
+    def test_fill_then_probe(self, cache):
+        cache.fill(5, ready_cycle=10)
+        assert cache.probe(5)
+
+    def test_lookup_miss_counts(self, cache):
+        assert cache.lookup(5, cycle=0) is None
+        assert cache.misses == 1
+        assert cache.accesses == 1
+
+    def test_lookup_hit_returns_state(self, cache):
+        cache.fill(5, ready_cycle=10)
+        state = cache.lookup(5, cycle=20)
+        assert state is not None
+        assert state.ready_cycle == 10
+
+    def test_pending_line_visible(self, cache):
+        cache.fill(5, ready_cycle=100)
+        state = cache.lookup(5, cycle=50)
+        assert state is not None
+        assert state.ready_cycle > 50  # still in flight
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size_kb=1, assoc=7)
+
+    def test_invalidate(self, cache):
+        cache.fill(5, ready_cycle=0)
+        cache.invalidate(5)
+        assert not cache.probe(5)
+
+
+class TestReplacement:
+    def test_set_fills_to_assoc(self, cache):
+        # lines 0, 16, 32, 48 map to set 0 (16 sets)
+        for i in range(4):
+            cache.fill(i * 16, ready_cycle=0)
+        assert cache.resident_lines() == 4
+        assert cache.evictions == 0
+
+    def test_fifth_line_evicts_lru(self, cache):
+        for i in range(4):
+            cache.fill(i * 16, ready_cycle=0)
+        cache.lookup(0, cycle=1)  # line 0 most recent
+        result = cache.fill(4 * 16, ready_cycle=0)
+        assert result.evicted_line == 16  # LRU among {16,32,48}
+        assert cache.probe(0)
+        assert not cache.probe(16)
+
+    def test_refill_same_line_no_eviction(self, cache):
+        cache.fill(5, ready_cycle=0)
+        result = cache.fill(5, ready_cycle=10)
+        assert result.evicted_line is None
+
+    def test_eviction_reports_state(self, cache):
+        cache.fill(16, ready_cycle=0, source="prefetch")
+        for i in (0, 2, 3, 4):
+            cache.fill(i * 16, ready_cycle=0)
+        # set 0 now overflowed; the prefetch line may have been the victim
+        assert cache.evictions == 1
+
+
+class TestMSHR:
+    def test_inflight_counts_pending(self, cache):
+        cache.fill(1, ready_cycle=100)
+        cache.fill(2, ready_cycle=100)
+        assert cache.mshr_inflight(cycle=0) == 2
+
+    def test_completed_fills_release_mshrs(self, cache):
+        cache.fill(1, ready_cycle=10)
+        cache.fill(2, ready_cycle=100)
+        assert cache.mshr_inflight(cycle=50) == 1
+        assert cache.mshr_free(cycle=50) == 3
+
+    def test_eviction_of_pending_line_frees_mshr(self, cache):
+        # fill set 0 with pending lines, then overflow it
+        for i in range(4):
+            cache.fill(i * 16, ready_cycle=1000)
+        assert cache.mshr_inflight(cycle=0) == 4
+        cache.fill(4 * 16, ready_cycle=1000)
+        assert cache.mshr_inflight(cycle=0) == 4  # victim's MSHR released
+
+
+class TestPrefetchMetadata:
+    def test_prefetch_fill_marked_unused(self, cache):
+        cache.fill(5, ready_cycle=0, source="prefetch")
+        assert cache.get_state(5).unused_prefetch
+
+    def test_fetch_fill_not_marked(self, cache):
+        cache.fill(5, ready_cycle=0, source="fetch")
+        assert not cache.get_state(5).unused_prefetch

@@ -1,0 +1,181 @@
+"""Tests for the three-level memory hierarchy."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.replacement import EmissaryPolicy
+
+
+def make_hierarchy(**kw):
+    return MemoryHierarchy(config=HierarchyConfig(), **kw)
+
+
+class TestInstructionPath:
+    def test_cold_miss_goes_to_memory(self):
+        h = make_hierarchy()
+        r = h.fetch_instruction(100, cycle=0)
+        assert r.l1_miss
+        cfg = h.config
+        expected = (cfg.l1_hit_latency + cfg.l2_hit_latency
+                    + cfg.l3_hit_latency + cfg.memory_latency)
+        assert r.ready_cycle == expected
+        assert h.l1i_demand_misses == 1
+        assert h.l2_inst_misses == 1
+        assert h.l3_misses == 1
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        first = h.fetch_instruction(100, cycle=0)
+        r = h.fetch_instruction(100, cycle=first.ready_cycle + 1)
+        assert r.l1_hit
+        assert r.ready_cycle == first.ready_cycle + 1 + h.config.l1_hit_latency
+
+    def test_access_during_fill_merges(self):
+        h = make_hierarchy()
+        first = h.fetch_instruction(100, cycle=0)
+        r = h.fetch_instruction(100, cycle=1)
+        assert r.pending_hit
+        assert not r.l1_miss  # MSHR merge, not a new miss
+        assert r.ready_cycle == first.ready_cycle
+        assert h.l1i_demand_misses == 1
+
+    def test_l1_eviction_keeps_l2(self):
+        h = make_hierarchy()
+        # fill line 0, then thrash its L1 set; L2 must still hold it
+        h.fetch_instruction(0, cycle=0)
+        sets = h.l1i.num_sets
+        for i in range(1, h.l1i.assoc + 1):
+            h.fetch_instruction(i * sets, cycle=1000 + i)
+        assert not h.l1i.probe(0)
+        r = h.fetch_instruction(0, cycle=5000)
+        assert r.l1_miss
+        assert r.served_by == "l2"
+        assert r.ready_cycle == 5000 + h.config.l1_hit_latency + h.config.l2_hit_latency
+
+    def test_mshr_exhaustion_stalls_demand(self):
+        h = make_hierarchy()
+        for i in range(h.config.l1i_mshrs):
+            h.fetch_instruction(1000 + i, cycle=0)
+        r = h.fetch_instruction(5000, cycle=0)
+        assert r.stalled_mshr
+
+    def test_stalled_access_not_counted(self):
+        h = make_hierarchy()
+        for i in range(h.config.l1i_mshrs):
+            h.fetch_instruction(1000 + i, cycle=0)
+        before = h.l1i_demand_accesses
+        h.fetch_instruction(5000, cycle=0)
+        assert h.l1i_demand_accesses == before
+
+
+class TestPrefetchPath:
+    def test_prefetch_fills_l1(self):
+        h = make_hierarchy()
+        assert h.prefetch_instruction(100, cycle=0)
+        assert h.l1i.probe(100)
+        assert h.prefetches_issued == 1
+
+    def test_prefetch_resident_is_noop(self):
+        h = make_hierarchy()
+        h.prefetch_instruction(100, cycle=0)
+        assert not h.prefetch_instruction(100, cycle=0)
+        assert h.prefetches_issued == 1
+
+    def test_prefetch_respects_mshr_reserve(self):
+        h = make_hierarchy()
+        for i in range(h.config.l1i_mshrs - 2):
+            h.fetch_instruction(1000 + i, cycle=0)
+        assert not h.prefetch_instruction(5000, cycle=0, mshr_reserve=2)
+        assert h.prefetches_dropped == 1
+
+    def test_useful_prefetch_accounting(self):
+        h = make_hierarchy()
+        h.prefetch_instruction(100, cycle=0)
+        ready = h.l1i.get_state(100).ready_cycle
+        r = h.fetch_instruction(100, cycle=ready + 1)
+        assert r.useful_prefetch
+        assert h.prefetch_useful == 1
+
+    def test_late_prefetch_accounting(self):
+        h = make_hierarchy()
+        h.prefetch_instruction(100, cycle=0)
+        r = h.fetch_instruction(100, cycle=1)  # fill still in flight
+        assert r.late_prefetch
+        assert h.prefetch_late == 1
+        assert h.prefetch_useful == 0
+
+    def test_useless_prefetch_accounting(self):
+        h = make_hierarchy()
+        h.prefetch_instruction(0, cycle=0)
+        # thrash line 0's L1 set without touching line 0
+        sets = h.l1i.num_sets
+        for i in range(1, h.l1i.assoc + 1):
+            h.fetch_instruction(i * sets, cycle=1000 + i * 10)
+        assert h.prefetch_useless == 1
+
+    def test_zero_cost_prefetch_instant(self):
+        h = make_hierarchy(zero_cost_prefetch=True)
+        h.prefetch_instruction(100, cycle=7)
+        assert h.l1i.get_state(100).ready_cycle == 7
+
+
+class TestFecIdeal:
+    def test_fec_line_served_at_l1_latency(self):
+        h = make_hierarchy(fec_ideal=True)
+        h.fec_lines.add(100)
+        r = h.fetch_instruction(100, cycle=0)
+        assert r.served_by == "fec_ideal"
+        assert r.ready_cycle == h.config.l1_hit_latency
+
+    def test_non_fec_line_normal_latency(self):
+        h = make_hierarchy(fec_ideal=True)
+        r = h.fetch_instruction(100, cycle=0)
+        assert r.served_by != "fec_ideal"
+        assert r.ready_cycle > h.config.l1_hit_latency
+
+    def test_promote_fec_populates_set(self):
+        h = make_hierarchy(fec_ideal=True)
+        h.fetch_instruction(100, cycle=0)
+        h.promote_fec(100)
+        assert 100 in h.fec_lines
+
+
+class TestDataPath:
+    def test_data_miss_then_hit(self):
+        h = make_hierarchy()
+        ready, hit = h.data_access(7_000_000, cycle=0)
+        assert not hit
+        ready2, hit2 = h.data_access(7_000_000, cycle=ready + 1)
+        assert hit2
+        assert h.l2_data_misses == 1
+
+    def test_data_contends_with_instructions(self):
+        """Filling the L2 with data evicts instruction lines."""
+        h = make_hierarchy()
+        h.fetch_instruction(0, cycle=0)
+        assert h.l2.probe(0)
+        l2_lines = h.l2.num_sets * h.l2.assoc
+        for i in range(2 * l2_lines):
+            h.data_access((1 << 30) + i * h.l2.num_sets // h.l2.num_sets + i, cycle=i)
+        assert not h.l2.probe(0)
+
+
+class TestEmissaryIntegration:
+    def test_promoted_line_survives_data_flood(self):
+        policy = EmissaryPolicy(promote_prob=1.0, seed=1)
+        h = make_hierarchy(l2_policy=policy)
+        h.fetch_instruction(0, cycle=0)
+        assert h.promote_fec(0)
+        # flood line 0's L2 set with data lines
+        sets = h.l2.num_sets
+        for i in range(1, 3 * h.l2.assoc):
+            h.data_access(i * sets, cycle=10 + i)
+        assert h.l2.probe(0)
+
+    def test_unpromoted_line_evicted_by_flood(self):
+        h = make_hierarchy()
+        h.fetch_instruction(0, cycle=0)
+        sets = h.l2.num_sets
+        for i in range(1, 3 * h.l2.assoc):
+            h.data_access(i * sets, cycle=10 + i)
+        assert not h.l2.probe(0)

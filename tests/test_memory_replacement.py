@@ -1,0 +1,92 @@
+"""Tests for LRU and EMISSARY replacement policies."""
+
+import pytest
+
+from repro.memory.cache import CacheLineState
+from repro.memory.replacement import EmissaryPolicy, LRUPolicy
+
+
+def ways(*states):
+    return {s.tag: s for s in states}
+
+
+def line(tag, lru=0, p_bit=False):
+    return CacheLineState(tag=tag, lru=lru, p_bit=p_bit)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        policy = LRUPolicy()
+        w = ways(line(1, lru=5), line(2, lru=1), line(3, lru=9))
+        assert policy.victim(w) == 2
+
+    def test_promote_is_noop(self):
+        policy = LRUPolicy()
+        state = line(1)
+        assert policy.on_promote(state, ways(state)) is False
+        assert not state.p_bit
+
+
+class TestEmissaryVictim:
+    def test_prefers_non_priority(self):
+        policy = EmissaryPolicy(seed=1)
+        w = ways(line(1, lru=1, p_bit=True), line(2, lru=5), line(3, lru=9))
+        assert policy.victim(w) == 2  # LRU among non-priority
+
+    def test_all_priority_falls_back_to_lru(self):
+        policy = EmissaryPolicy(seed=1)
+        w = ways(line(1, lru=5, p_bit=True), line(2, lru=1, p_bit=True))
+        assert policy.victim(w) == 2
+
+    def test_priority_shielded_even_when_oldest(self):
+        policy = EmissaryPolicy(seed=1)
+        w = ways(line(1, lru=0, p_bit=True), line(2, lru=100))
+        assert policy.victim(w) == 2
+
+
+class TestEmissaryPromotion:
+    def test_promotion_probability_one(self):
+        policy = EmissaryPolicy(promote_prob=1.0, seed=1)
+        state = line(1)
+        assert policy.on_promote(state, ways(state))
+        assert state.p_bit
+        assert policy.promotions == 1
+
+    def test_promotion_probability_zero(self):
+        policy = EmissaryPolicy(promote_prob=0.0, seed=1)
+        state = line(1)
+        assert not policy.on_promote(state, ways(state))
+        assert not state.p_bit
+
+    def test_already_promoted_returns_true(self):
+        policy = EmissaryPolicy(promote_prob=0.0, seed=1)
+        state = line(1, p_bit=True)
+        assert policy.on_promote(state, ways(state))
+
+    def test_protected_ways_cap(self):
+        policy = EmissaryPolicy(protected_ways=2, promote_prob=1.0, seed=1)
+        states = [line(i) for i in range(4)]
+        w = ways(*states)
+        assert policy.on_promote(states[0], w)
+        assert policy.on_promote(states[1], w)
+        # cap reached: third promotion refused
+        assert not policy.on_promote(states[2], w)
+        assert policy.priority_count(w) == 2
+
+    def test_promotion_rate_statistical(self):
+        policy = EmissaryPolicy(promote_prob=0.25, protected_ways=8, seed=1)
+        promoted = 0
+        for i in range(2000):
+            state = line(i)
+            if policy.on_promote(state, {i: state}):
+                promoted += 1
+        assert 0.20 < promoted / 2000 < 0.30
+
+    def test_paper_probability_recorded(self):
+        assert EmissaryPolicy.PAPER_PROMOTE_PROB == pytest.approx(1 / 32)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            EmissaryPolicy(protected_ways=-1)
+        with pytest.raises(ValueError):
+            EmissaryPolicy(promote_prob=1.5)

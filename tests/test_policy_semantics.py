@@ -1,0 +1,76 @@
+"""Semantics of the special policy modes at machine level (small runs)."""
+
+import pytest
+
+from repro.simulator.policies import build_machine, get_policy
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import WorkloadProfile
+
+PROFILE = WorkloadProfile(name="semantics-test", num_functions=120,
+                          num_handlers=12, num_leaves=12, call_depth=4,
+                          handler_zipf_alpha=0.2, callee_zipf_alpha=0.2)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return generate_layout(PROFILE, seed=8)
+
+
+def run(layout, policy, n=15_000, warmup=4_000):
+    machine = build_machine(layout, PROFILE, get_policy(policy), seed=8)
+    return machine, machine.run(n, warmup=warmup)
+
+
+class TestZeroCostSemantics:
+    def test_no_late_prefetches(self, layout):
+        _, st = run(layout, "pdip_44_zero_cost")
+        assert st.prefetch_late == 0
+
+    def test_same_table_behaviour_as_real_pdip(self, layout):
+        """Zero-cost changes fill latency, not the learning: both
+        variants should insert comparable table content."""
+        m_real, _ = run(layout, "pdip_44")
+        m_zero, _ = run(layout, "pdip_44_zero_cost")
+        real_ins = m_real.prefetcher.inserted_events
+        zero_ins = m_zero.prefetcher.inserted_events
+        assert zero_ins > 0
+        assert abs(real_ins - zero_ins) < max(60, 0.6 * real_ins)
+
+
+class TestFecIdealSemantics:
+    def test_fec_lines_populated(self, layout):
+        machine, _ = run(layout, "fec_ideal")
+        assert machine.hierarchy.fec_lines
+
+    def test_uses_emissary_l2(self, layout):
+        from repro.memory.replacement import EmissaryPolicy
+
+        machine, _ = run(layout, "fec_ideal")
+        assert isinstance(machine.hierarchy.l2_policy, EmissaryPolicy)
+
+
+class TestEmissaryCombination:
+    def test_pdip_emissary_promotes_and_inserts(self, layout):
+        machine, st = run(layout, "pdip_44_emissary")
+        assert machine.hierarchy.l2_policy.promotions > 0
+        assert machine.prefetcher.inserted_events > 0
+
+    def test_eip_emissary_runs(self, layout):
+        machine, st = run(layout, "eip_46_emissary")
+        assert machine.prefetcher.entangles > 0
+
+
+class TestPathVariant:
+    def test_path_variant_stores_paths(self, layout):
+        machine, _ = run(layout, "pdip_44_path")
+        assert machine.prefetcher.config.use_path_info
+        # at least one entry carries a path signature
+        paths = [e.path for ways in machine.prefetcher.table._sets.values()
+                 for e in ways.values()]
+        assert any(p is not None for p in paths)
+
+    def test_plain_pdip_stores_no_paths(self, layout):
+        machine, _ = run(layout, "pdip_44")
+        paths = [e.path for ways in machine.prefetcher.table._sets.values()
+                 for e in ways.values()]
+        assert all(p is None for p in paths)

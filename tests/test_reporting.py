@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.reporting import hbar_chart, scatter_chart, stacked_pct_bar
+
+
+class TestHBar:
+    def test_renders_all_categories(self):
+        text = hbar_chart({"a": {"x": 1.0, "y": 2.0}}, title="T")
+        assert "x" in text and "y" in text and "T" in text
+
+    def test_values_shown(self):
+        text = hbar_chart({"a": {"x": 1.5}})
+        assert "+1.50%" in text
+
+    def test_legend(self):
+        text = hbar_chart({"s1": {"x": 1.0}, "s2": {"x": 2.0}})
+        assert "legend" in text
+        assert "s1" in text and "s2" in text
+
+    def test_negative_values_ok(self):
+        text = hbar_chart({"a": {"x": -1.0, "y": 2.0}})
+        assert "-1.00%" in text
+
+    def test_empty(self):
+        assert hbar_chart({}, title="E") == "E"
+
+    def test_bar_length_proportional(self):
+        text = hbar_chart({"a": {"small": 1.0, "big": 10.0}}, width=40)
+        lines = [l for l in text.splitlines() if "|" in l]
+        small_bar = lines[0].count("#") if "small" in text.splitlines()[0] \
+            else None
+        # the big bar has more glyphs than the small one
+        counts = [l.count("#") for l in lines]
+        assert max(counts) > min(counts)
+
+
+class TestScatter:
+    def test_renders_grid(self):
+        text = scatter_chart({"s": [(0, 0), (10, 5)]}, title="S",
+                             width=20, height=8)
+        assert "S" in text
+        assert text.count("\n") >= 8
+
+    def test_glyphs_placed(self):
+        text = scatter_chart({"s": [(0, 0), (10, 5)]}, width=20, height=8)
+        assert "#" in text
+
+    def test_multiple_series_glyphs(self):
+        text = scatter_chart({"a": [(0, 0)], "b": [(5, 5)]},
+                             width=20, height=8)
+        assert "#" in text and "*" in text
+
+    def test_labels(self):
+        text = scatter_chart({"s": [(1, 2)]}, xlabel="KB", ylabel="gain")
+        assert "x: KB" in text
+
+    def test_empty(self):
+        assert scatter_chart({}, title="E") == "E"
+
+    def test_single_point_no_crash(self):
+        scatter_chart({"s": [(3.0, 4.0)]})
+
+
+class TestStackedBar:
+    def test_percentages(self):
+        text = stacked_pct_bar({"a": 25.0, "b": 75.0})
+        assert "25.0%" in text and "75.0%" in text
+
+    def test_bar_width(self):
+        text = stacked_pct_bar({"a": 1.0}, width=30)
+        bar_line = [l for l in text.splitlines() if l.startswith("|")][0]
+        assert len(bar_line) == 32  # |...| with width 30
+
+    def test_zero_total_no_crash(self):
+        stacked_pct_bar({"a": 0.0})

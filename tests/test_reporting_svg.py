@@ -1,0 +1,102 @@
+"""Tests for the SVG chart renderer."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.reporting_svg import (
+    SVGCanvas,
+    _axis_ticks,
+    grouped_bar_svg,
+    line_svg,
+)
+
+
+def valid_xml(svg: str) -> bool:
+    xml.dom.minidom.parseString(svg)
+    return True
+
+
+class TestAxisTicks:
+    def test_covers_range(self):
+        ticks = _axis_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 + 1e-9
+        assert ticks[-1] >= 10.0 - _axis_ticks(0.0, 10.0)[1]
+
+    def test_degenerate_range(self):
+        assert _axis_ticks(5.0, 5.0)
+
+    def test_negative_range(self):
+        ticks = _axis_ticks(-3.0, 4.0)
+        assert any(t <= 0 for t in ticks)
+        assert any(t > 0 for t in ticks)
+
+
+class TestCanvas:
+    def test_render_is_svg(self):
+        c = SVGCanvas(100, 50)
+        c.rect(0, 0, 10, 10, "#fff")
+        c.line(0, 0, 10, 10)
+        c.circle(5, 5, 2, "#000")
+        c.polyline([(0, 0), (5, 5)], "#123")
+        c.text(1, 1, "hi & <bye>")
+        svg = c.render()
+        assert svg.startswith("<svg")
+        assert valid_xml(svg)
+
+    def test_text_escaped(self):
+        c = SVGCanvas(10, 10)
+        c.text(0, 0, "<script>")
+        assert "<script>" not in c.render()
+
+
+class TestGroupedBars:
+    def test_valid_svg(self):
+        svg = grouped_bar_svg({"a": {"x": 1.0, "y": -2.0},
+                               "b": {"x": 3.0}}, title="T")
+        assert valid_xml(svg)
+        assert "T" in svg
+
+    def test_empty_series(self):
+        assert valid_xml(grouped_bar_svg({}))
+
+    def test_all_categories_labeled(self):
+        svg = grouped_bar_svg({"a": {"bench1": 1.0, "bench2": 2.0}})
+        assert "bench1" in svg and "bench2" in svg
+
+    def test_legend_present(self):
+        svg = grouped_bar_svg({"seriesA": {"x": 1.0}})
+        assert "seriesA" in svg
+
+
+class TestLines:
+    def test_valid_svg(self):
+        svg = line_svg({"s": [(0, 0), (1, 2), (2, 1)]}, title="L",
+                       xlabel="x", ylabel="y")
+        assert valid_xml(svg)
+        assert "polyline" in svg
+
+    def test_empty(self):
+        assert valid_xml(line_svg({}))
+
+    def test_markers(self):
+        svg = line_svg({"s": [(0, 0), (1, 1)]})
+        assert "circle" in svg
+        no_markers = line_svg({"s": [(0, 0), (1, 1)]}, markers=False)
+        assert "circle" not in no_markers
+
+
+class TestSpeedupBarsHelper:
+    def test_builds_series_from_result(self):
+        from repro.experiments.common import speedup_bars_svg
+
+        result = {
+            "benchmarks": ["a", "b"],
+            "speedups": {"a": {"p1": 1.0, "p2": 2.0},
+                         "b": {"p1": -0.5, "p2": 0.1}},
+        }
+        svg = speedup_bars_svg(result, ("p1", "p2"),
+                               {"p1": "Policy One", "p2": "Policy Two"},
+                               "T")
+        assert valid_xml(svg)
+        assert "Policy One" in svg and "T" in svg

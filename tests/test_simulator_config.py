@@ -1,0 +1,65 @@
+"""Tests for MachineConfig and HierarchyConfig."""
+
+import dataclasses
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig
+from repro.simulator.config import MachineConfig
+
+
+class TestMachineConfig:
+    def test_defaults_match_table1_structures(self):
+        cfg = MachineConfig()
+        assert cfg.ftq_depth == 24
+        assert cfg.decode_width == 12
+        assert cfg.rob_entries == 512
+        assert cfg.btb_entries == 8192
+        assert cfg.pq_capacity == 40
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MachineConfig().ftq_depth = 5
+
+    def test_scaled_override(self):
+        cfg = MachineConfig().scaled(ftq_depth=48)
+        assert cfg.ftq_depth == 48
+        assert cfg.decode_width == 12
+
+    def test_with_l1i_kb(self):
+        cfg = MachineConfig().with_l1i_kb(16)
+        assert cfg.hierarchy.l1i_size_kb == 16
+        # other hierarchy fields preserved
+        assert cfg.hierarchy.l2_size_kb == MachineConfig().hierarchy.l2_size_kb
+
+    def test_with_l1i_kb_does_not_mutate_original(self):
+        base = MachineConfig()
+        base.with_l1i_kb(16)
+        assert base.hierarchy.l1i_size_kb == 8
+
+
+class TestHierarchyConfig:
+    def test_scaled_defaults(self):
+        h = HierarchyConfig()
+        assert h.l1i_size_kb == 8
+        assert h.l2_size_kb == 128
+        assert h.l3_size_kb == 1024
+
+    def test_paper_table1(self):
+        h = HierarchyConfig.paper_table1()
+        assert h.l1i_size_kb == 32
+        assert h.l2_size_kb == 1024
+        assert h.l3_size_kb == 2048
+        # latencies unchanged by the scaling
+        assert h.l1_hit_latency == HierarchyConfig().l1_hit_latency
+
+    def test_scaling_preserves_level_ratios(self):
+        """The scaled hierarchy keeps L1 < L2 < L3 with the same relative
+        ordering of latencies as Table 1."""
+        h = HierarchyConfig()
+        assert h.l1i_size_kb < h.l2_size_kb < h.l3_size_kb
+        assert (h.l1_hit_latency < h.l2_hit_latency < h.l3_hit_latency
+                < h.memory_latency)
+
+    def test_itlb_defaults_off(self):
+        assert not HierarchyConfig().itlb_enabled

@@ -1,0 +1,137 @@
+"""Tests for the cycle-level machine."""
+
+import pytest
+
+from repro.simulator.config import MachineConfig
+from repro.simulator.machine import Machine
+from repro.simulator.policies import build_machine, get_policy
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import WorkloadProfile
+
+SMALL = WorkloadProfile(name="machine-test", num_functions=80,
+                        num_handlers=10, num_leaves=12, call_depth=3,
+                        backend_stall_prob=0.05)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return generate_layout(SMALL, seed=3)
+
+
+def run_machine(layout, policy="baseline", n=8000, warmup=2000, seed=3,
+                config=None):
+    machine = build_machine(layout, SMALL, get_policy(policy),
+                            config=config, seed=seed)
+    stats = machine.run(n, warmup=warmup)
+    return machine, stats
+
+
+class TestBasicExecution:
+    def test_retires_requested_instructions(self, layout):
+        _, stats = run_machine(layout, n=5000, warmup=1000)
+        assert stats.instructions >= 5000
+        assert stats.cycles > 0
+
+    def test_ipc_plausible(self, layout):
+        _, stats = run_machine(layout)
+        assert 0.1 < stats.ipc <= 12.0
+
+    def test_deterministic(self, layout):
+        _, a = run_machine(layout, seed=9)
+        _, b = run_machine(layout, seed=9)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.l1i_misses == b.l1i_misses
+        assert a.resteers == b.resteers
+
+    def test_seed_changes_outcome(self, layout):
+        _, a = run_machine(layout, seed=9)
+        _, b = run_machine(layout, seed=10)
+        assert a.cycles != b.cycles
+
+    def test_warmup_excluded_from_stats(self, layout):
+        _, warm = run_machine(layout, n=4000, warmup=4000)
+        assert warm.instructions == pytest.approx(4000, abs=64)
+
+
+class TestTopDown:
+    def test_slots_partition(self, layout):
+        _, stats = run_machine(layout)
+        total = (stats.slots_retiring + stats.slots_bad_speculation
+                 + stats.slots_frontend_bound + stats.slots_backend_bound)
+        assert total == stats.slots_total
+
+    def test_fractions_sum_to_one(self, layout):
+        _, stats = run_machine(layout)
+        assert sum(stats.topdown.values()) == pytest.approx(1.0)
+
+    def test_retiring_matches_ipc(self, layout):
+        _, stats = run_machine(layout)
+        cfg = MachineConfig()
+        expected = stats.ipc / cfg.decode_width
+        assert stats.topdown["retiring"] == pytest.approx(expected, rel=0.1)
+
+
+class TestResteerBehaviour:
+    def test_resteers_happen(self, layout):
+        _, stats = run_machine(layout)
+        assert stats.resteers > 0
+
+    def test_resteer_kinds_partition(self, layout):
+        _, stats = run_machine(layout)
+        assert (stats.resteers_btb_miss + stats.resteers_cond
+                + stats.resteers_indirect + stats.resteers_return
+                == stats.resteers)
+
+    def test_wrong_path_fetched(self, layout):
+        _, stats = run_machine(layout)
+        assert stats.wrong_path_blocks > 0
+        assert stats.slots_bad_speculation > 0
+
+    def test_deeper_resteer_latency_costs_ipc(self, layout):
+        _, fast = run_machine(layout,
+                              config=MachineConfig(exec_resteer_latency=8))
+        _, slow = run_machine(layout,
+                              config=MachineConfig(exec_resteer_latency=30))
+        assert slow.ipc < fast.ipc
+
+
+class TestFrontEndPressure:
+    def test_starvation_recorded(self, layout):
+        _, stats = run_machine(layout)
+        assert stats.decode_starvation_cycles > 0
+
+    def test_fec_events_found(self, layout):
+        machine, stats = run_machine(layout)
+        assert stats.fec_events > 0
+        assert machine.fec.fec_lines
+
+    def test_bigger_l1i_reduces_misses(self, layout):
+        _, small = run_machine(layout)
+        _, big = run_machine(layout, policy="2x_il1")
+        assert big.l1i_misses < small.l1i_misses
+
+    def test_deeper_ftq_not_worse(self, layout):
+        _, shallow = run_machine(layout, config=MachineConfig(ftq_depth=4))
+        _, deep = run_machine(layout, config=MachineConfig(ftq_depth=32))
+        assert deep.ipc >= shallow.ipc * 0.98
+
+
+class TestDataStream:
+    def test_data_accesses_happen(self, layout):
+        _, stats = run_machine(layout)
+        assert stats.l2_data_misses > 0
+
+    def test_no_data_stream_profile(self):
+        quiet = SMALL.scaled(name="quiet", data_access_prob=0.0)
+        lay = generate_layout(quiet, seed=3)
+        machine = build_machine(lay, quiet, get_policy("baseline"), seed=3)
+        stats = machine.run(3000, warmup=500)
+        assert stats.l2_data_misses == 0
+
+
+class TestRunGuards:
+    def test_max_cycles_guard(self, layout):
+        machine = build_machine(layout, SMALL, get_policy("baseline"), seed=3)
+        with pytest.raises(RuntimeError):
+            machine.run(10_000_000, warmup=0, max_cycles=100)

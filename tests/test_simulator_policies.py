@@ -1,0 +1,105 @@
+"""Tests for the policy catalog and machine assembly."""
+
+import pytest
+
+from repro.core.pdip import PDIPController
+from repro.memory.replacement import EmissaryPolicy, LRUPolicy
+from repro.prefetchers.base import NoPrefetcher
+from repro.prefetchers.eip import EIPPrefetcher
+from repro.simulator.policies import (
+    PDIP_ASSOC_FOR_KB,
+    POLICIES,
+    PolicySpec,
+    build_machine,
+    build_machine_for,
+    get_policy,
+)
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import WorkloadProfile
+
+SMALL = WorkloadProfile(name="policy-test", num_functions=60,
+                        num_handlers=8, num_leaves=10, call_depth=3)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return generate_layout(SMALL, seed=2)
+
+
+class TestCatalog:
+    def test_table3_policies_present(self):
+        for name in ("baseline", "emissary", "pdip_44", "eip_analytical",
+                     "eip_46", "2x_il1", "fec_ideal"):
+            assert name in POLICIES
+
+    def test_get_policy_unknown(self):
+        with pytest.raises(KeyError):
+            get_policy("bogus")
+
+    def test_pdip_sizes(self):
+        assert PDIP_ASSOC_FOR_KB == {11: 2, 22: 4, 44: 8, 87: 16}
+
+    def test_prefetcher_storage(self):
+        assert get_policy("pdip_44").prefetcher_storage_kb == pytest.approx(43.5)
+        assert get_policy("eip_46").prefetcher_storage_kb == pytest.approx(46.0)
+        assert get_policy("baseline").prefetcher_storage_kb == 0.0
+
+
+class TestAssembly:
+    def test_baseline(self, layout):
+        m = build_machine(layout, SMALL, get_policy("baseline"), seed=1)
+        assert isinstance(m.prefetcher, NoPrefetcher)
+        assert isinstance(m.hierarchy.l2_policy, LRUPolicy)
+        assert not m.hierarchy.fec_ideal
+
+    def test_pdip(self, layout):
+        m = build_machine(layout, SMALL, get_policy("pdip_44"), seed=1)
+        assert isinstance(m.prefetcher, PDIPController)
+        assert m.prefetcher.table.assoc == 8
+
+    def test_pdip_sizes_assembled(self, layout):
+        for kb, assoc in PDIP_ASSOC_FOR_KB.items():
+            m = build_machine(layout, SMALL, get_policy("pdip_%d" % kb),
+                              seed=1)
+            assert m.prefetcher.table.assoc == assoc
+
+    def test_eip(self, layout):
+        m = build_machine(layout, SMALL, get_policy("eip_46"), seed=1)
+        assert isinstance(m.prefetcher, EIPPrefetcher)
+        assert not m.prefetcher.config.analytical
+
+    def test_eip_analytical(self, layout):
+        m = build_machine(layout, SMALL, get_policy("eip_analytical"), seed=1)
+        assert m.prefetcher.config.analytical
+
+    def test_emissary(self, layout):
+        m = build_machine(layout, SMALL, get_policy("emissary"), seed=1)
+        assert isinstance(m.hierarchy.l2_policy, EmissaryPolicy)
+
+    def test_fec_ideal(self, layout):
+        m = build_machine(layout, SMALL, get_policy("fec_ideal"), seed=1)
+        assert m.hierarchy.fec_ideal
+        assert isinstance(m.hierarchy.l2_policy, EmissaryPolicy)
+
+    def test_zero_cost(self, layout):
+        m = build_machine(layout, SMALL, get_policy("pdip_44_zero_cost"),
+                          seed=1)
+        assert m.hierarchy.zero_cost_prefetch
+
+    def test_2x_il1(self, layout):
+        base = build_machine(layout, SMALL, get_policy("baseline"), seed=1)
+        big = build_machine(layout, SMALL, get_policy("2x_il1"), seed=1)
+        assert (big.hierarchy.config.l1i_size_kb
+                == 2 * base.hierarchy.config.l1i_size_kb)
+
+    def test_pdip_overrides(self, layout):
+        spec = PolicySpec("custom", "c", pdip_kb=44,
+                          pdip_overrides={"insert_prob": 0.5})
+        m = build_machine(layout, SMALL, spec, seed=1)
+        assert m.prefetcher.config.insert_prob == 0.5
+        assert m.prefetcher.table.assoc == 8  # default still applied
+
+    def test_build_machine_for(self):
+        m = build_machine_for(SMALL, get_policy("baseline"), seed=1)
+        stats = m.run(1500, warmup=300)
+        assert stats.instructions >= 1500

@@ -1,0 +1,65 @@
+"""Tests for the per-cycle probe infrastructure."""
+
+import pytest
+
+from repro.simulator.machine import Machine
+from repro.simulator.probe import TimelineProbe, sparkline
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import WorkloadProfile
+
+SMALL = WorkloadProfile(name="probe-test", num_functions=50, num_handlers=6,
+                        num_leaves=8, call_depth=3)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_capped_at_width(self):
+        assert len(sparkline([1.0] * 500, width=40)) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_monotone_values_monotone_glyphs(self):
+        text = sparkline([0.0, 0.5, 1.0], vmax=1.0)
+        assert text[0] <= text[1] <= text[2] or text[0] == " "
+
+    def test_zero_values(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+
+class TestTimelineProbe:
+    def test_probe_collects_samples(self):
+        layout = generate_layout(SMALL, seed=2)
+        machine = Machine(layout, SMALL, seed=2)
+        machine.probe = probe = TimelineProbe(sample_every=10)
+        machine.run(3000, warmup=0)
+        assert len(probe.ftq_occupancy) > 10
+        assert len(probe.ftq_occupancy) == len(probe.rob_occupancy)
+        assert len(probe.ftq_occupancy) == len(probe.mshr_inflight)
+
+    def test_resteer_marks_accumulate(self):
+        layout = generate_layout(SMALL, seed=2)
+        machine = Machine(layout, SMALL, seed=2)
+        machine.probe = probe = TimelineProbe(sample_every=10)
+        machine.run(5000, warmup=0)
+        assert sum(probe.resteer_marks) == machine.stats.resteers
+
+    def test_render(self):
+        layout = generate_layout(SMALL, seed=2)
+        machine = Machine(layout, SMALL, seed=2)
+        machine.probe = probe = TimelineProbe(sample_every=10)
+        machine.run(2000, warmup=0)
+        text = probe.render()
+        assert "FTQ occupancy" in text
+        assert "resteers" in text
+
+    def test_no_probe_no_effect(self):
+        layout = generate_layout(SMALL, seed=2)
+        a = Machine(layout, SMALL, seed=2)
+        stats_a = a.run(2000, warmup=0)
+        b = Machine(layout, SMALL, seed=2)
+        b.probe = TimelineProbe()
+        stats_b = b.run(2000, warmup=0)
+        assert stats_a.cycles == stats_b.cycles

@@ -1,0 +1,111 @@
+"""Tests for the suite runner and the on-disk result cache."""
+
+import os
+
+import pytest
+
+from repro.simulator import cache as result_cache
+from repro.simulator.config import MachineConfig
+from repro.simulator.policies import get_policy
+from repro.simulator.runner import run_benchmark, run_suite, speedup
+from repro.simulator.stats import SimulationStats
+from repro.utils import geomean
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return tmp_path
+
+
+class TestRunKey:
+    def test_stable(self):
+        a = result_cache.run_key("noop", get_policy("baseline"), 100, 10, 1,
+                                 None)
+        b = result_cache.run_key("noop", get_policy("baseline"), 100, 10, 1,
+                                 None)
+        assert a == b
+
+    def test_differs_by_policy(self):
+        a = result_cache.run_key("noop", get_policy("baseline"), 100, 10, 1,
+                                 None)
+        b = result_cache.run_key("noop", get_policy("pdip_44"), 100, 10, 1,
+                                 None)
+        assert a != b
+
+    def test_differs_by_budget(self):
+        a = result_cache.run_key("noop", get_policy("baseline"), 100, 10, 1,
+                                 None)
+        b = result_cache.run_key("noop", get_policy("baseline"), 200, 10, 1,
+                                 None)
+        assert a != b
+
+    def test_differs_by_config(self):
+        a = result_cache.run_key("noop", get_policy("baseline"), 100, 10, 1,
+                                 None)
+        b = result_cache.run_key("noop", get_policy("baseline"), 100, 10, 1,
+                                 MachineConfig(btb_entries=4096))
+        assert a != b
+
+    def test_default_config_matches_none(self):
+        a = result_cache.run_key("noop", get_policy("baseline"), 100, 10, 1,
+                                 None)
+        b = result_cache.run_key("noop", get_policy("baseline"), 100, 10, 1,
+                                 MachineConfig())
+        assert a == b
+
+
+class TestStoreLoad:
+    def test_roundtrip(self, tmp_cache):
+        stats = SimulationStats()
+        stats.instructions = 1234
+        stats.cycles = 987
+        stats.l1i_misses = 55
+        result_cache.store("abc", stats)
+        loaded = result_cache.load("abc")
+        assert loaded.instructions == 1234
+        assert loaded.cycles == 987
+        assert loaded.l1i_misses == 55
+
+    def test_missing_key(self, tmp_cache):
+        assert result_cache.load("nope") is None
+
+    def test_disabled_by_env(self, tmp_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        result_cache.store("xyz", SimulationStats())
+        assert result_cache.load("xyz") is None
+
+
+class TestRunBenchmark:
+    def test_cache_hit_reproduces(self, tmp_cache):
+        a = run_benchmark("noop", "baseline", instructions=3000, warmup=500)
+        files = list(tmp_cache.glob("*.json"))
+        assert len(files) == 1
+        b = run_benchmark("noop", "baseline", instructions=3000, warmup=500)
+        assert a.ipc == b.ipc
+        assert list(tmp_cache.glob("*.json")) == files
+
+    def test_no_cache_flag(self, tmp_cache):
+        run_benchmark("noop", "baseline", instructions=2000, warmup=300,
+                      use_cache=False)
+        assert not list(tmp_cache.glob("*.json"))
+
+
+class TestSuite:
+    def test_grid_shape(self, tmp_cache):
+        res = run_suite(["baseline", "pdip_44"], benchmarks=["noop"],
+                        instructions=2500, warmup=400)
+        assert set(res.keys()) == {"noop"}
+        assert set(res["noop"].keys()) == {"baseline", "pdip_44"}
+
+    def test_speedup(self):
+        a = SimulationStats()
+        a.instructions, a.cycles = 1000, 400
+        b = SimulationStats()
+        b.instructions, b.cycles = 1000, 500
+        assert speedup(a, b) == pytest.approx(1.25)
+
+    def test_speedup_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(SimulationStats(), SimulationStats())

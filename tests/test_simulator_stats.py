@@ -1,0 +1,81 @@
+"""Tests for derived statistics."""
+
+import pytest
+
+from repro.simulator.stats import SimulationStats
+
+
+def stats(**kw):
+    s = SimulationStats()
+    for k, v in kw.items():
+        setattr(s, k, v)
+    return s
+
+
+class TestIPC:
+    def test_ipc(self):
+        assert stats(instructions=200, cycles=100).ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert stats().ipc == 0.0
+
+
+class TestMPKI:
+    def test_l1i_mpki(self):
+        s = stats(instructions=10_000, l1i_misses=500)
+        assert s.l1i_mpki == 50.0
+
+    def test_all_levels(self):
+        s = stats(instructions=1000, l1i_misses=10, l2_inst_misses=5,
+                  l2_data_misses=3, l3_misses=1)
+        assert s.l1i_mpki == 10.0
+        assert s.l2i_mpki == 5.0
+        assert s.l2d_mpki == 3.0
+        assert s.l3_mpki == 1.0
+
+    def test_zero_instructions(self):
+        assert stats(l1i_misses=10).l1i_mpki == 0.0
+
+
+class TestPrefetchMetrics:
+    def test_ppki(self):
+        assert stats(instructions=1000, prefetches_issued=32).ppki == 32.0
+
+    def test_accuracy(self):
+        s = stats(prefetch_useful=40, prefetch_late=10, prefetch_useless=50)
+        assert s.prefetch_accuracy == pytest.approx(0.5)
+
+    def test_accuracy_no_resolved(self):
+        assert stats().prefetch_accuracy == 0.0
+
+    def test_late_fraction(self):
+        s = stats(prefetches_issued=100, prefetch_late=13)
+        assert s.prefetch_late_fraction == pytest.approx(0.13)
+
+
+class TestTopdown:
+    def test_fractions(self):
+        s = stats(slots_total=100, slots_retiring=20,
+                  slots_frontend_bound=50, slots_bad_speculation=10,
+                  slots_backend_bound=20)
+        td = s.topdown
+        assert td["retiring"] == pytest.approx(0.2)
+        assert td["frontend_bound"] == pytest.approx(0.5)
+        assert sum(td.values()) == pytest.approx(1.0)
+
+
+class TestFECMetrics:
+    def test_line_fraction(self):
+        s = stats(fec_distinct_lines=10, retired_distinct_lines=100)
+        assert s.fec_line_fraction == pytest.approx(0.1)
+
+    def test_starvation_fraction_capped(self):
+        s = stats(fec_starvation_cycles=120, decode_starvation_cycles=100)
+        assert s.fec_starvation_fraction == 1.0
+
+    def test_coverage(self):
+        s = stats(fec_events=10, fec_covered_events=7)
+        assert s.fec_coverage == pytest.approx(0.7)
+
+    def test_summary_renders(self):
+        assert "IPC" in stats(instructions=10, cycles=10).summary()

@@ -1,0 +1,92 @@
+"""Cross-statistic consistency properties of full simulations.
+
+These run one moderately-sized simulation per policy and assert the
+internal bookkeeping adds up — the kind of invariants that catch subtle
+double-counting bugs in the pipeline.
+"""
+
+import pytest
+
+from repro.simulator.policies import build_machine, get_policy
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import WorkloadProfile
+
+PROFILE = WorkloadProfile(name="consistency-test", num_functions=200,
+                          num_handlers=20, num_leaves=20, call_depth=4,
+                          handler_zipf_alpha=0.2, callee_zipf_alpha=0.2)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return generate_layout(PROFILE, seed=9)
+
+
+def run(layout, policy):
+    machine = build_machine(layout, PROFILE, get_policy(policy), seed=9)
+    stats = machine.run(20_000, warmup=5_000)
+    return machine, stats
+
+
+@pytest.fixture(scope="module", params=["baseline", "pdip_44", "eip_46",
+                                        "pdip_44_emissary", "fec_ideal"])
+def run_result(request, layout):
+    return run(layout, request.param)
+
+
+class TestSlotAccounting:
+    def test_slots_partition_exactly(self, run_result):
+        _, st = run_result
+        assert (st.slots_retiring + st.slots_bad_speculation
+                + st.slots_frontend_bound + st.slots_backend_bound
+                == st.slots_total)
+
+    def test_slots_total_is_width_times_cycles(self, run_result):
+        machine, st = run_result
+        assert st.slots_total == machine.config.decode_width * st.cycles
+
+    def test_retired_close_to_retiring_slots(self, run_result):
+        """Decoded-correct instructions eventually retire; over a long
+        window the two counts track each other within the ROB depth."""
+        machine, st = run_result
+        assert abs(st.slots_retiring - st.instructions) <= \
+            machine.config.rob_entries + machine.config.decode_width
+
+
+class TestMissAccounting:
+    def test_l1i_misses_bounded_by_accesses(self, run_result):
+        _, st = run_result
+        assert 0 <= st.l1i_misses <= st.l1i_accesses
+
+    def test_starvation_bounded_by_cycles(self, run_result):
+        _, st = run_result
+        assert 0 <= st.decode_starvation_cycles <= st.cycles
+
+    def test_fec_starvation_subset(self, run_result):
+        _, st = run_result
+        # entry starvation can be charged across warmup boundaries, so
+        # allow slack of one entry's worth
+        assert st.fec_starvation_cycles <= st.decode_starvation_cycles + 500
+
+
+class TestPrefetchAccounting:
+    def test_resolution_bounded_by_issue(self, run_result):
+        _, st = run_result
+        resolved = (st.prefetch_useful + st.prefetch_late
+                    + st.prefetch_useless)
+        assert resolved <= st.prefetches_issued
+
+    def test_fec_events_have_lines(self, run_result):
+        machine, st = run_result
+        assert len(machine.fec.fec_lines) <= len(machine.fec.retired_lines_seen)
+
+
+class TestResteerAccounting:
+    def test_kinds_sum(self, run_result):
+        _, st = run_result
+        assert (st.resteers_btb_miss + st.resteers_cond
+                + st.resteers_indirect + st.resteers_return == st.resteers)
+
+    def test_wrong_path_requires_resteers(self, run_result):
+        _, st = run_result
+        if st.wrong_path_blocks > 0:
+            assert st.resteers > 0

@@ -1,0 +1,96 @@
+"""Tests for repro.utils: address arithmetic and RNG derivation."""
+
+import math
+
+import pytest
+
+from repro.utils import (
+    INSTRUCTION_SIZE,
+    LINE_SIZE,
+    derive_rng,
+    geomean,
+    line_base,
+    line_of,
+    lines_spanned,
+)
+
+
+class TestLineArithmetic:
+    def test_line_of_zero(self):
+        assert line_of(0) == 0
+
+    def test_line_of_within_first_line(self):
+        assert line_of(LINE_SIZE - 1) == 0
+
+    def test_line_of_boundary(self):
+        assert line_of(LINE_SIZE) == 1
+
+    def test_line_of_large_address(self):
+        assert line_of(10 * LINE_SIZE + 5) == 10
+
+    def test_line_base_rounds_down(self):
+        assert line_base(LINE_SIZE + 7) == LINE_SIZE
+
+    def test_line_base_idempotent(self):
+        addr = 12345
+        assert line_base(line_base(addr)) == line_base(addr)
+
+    def test_lines_spanned_single(self):
+        assert lines_spanned(0, 4) == [0]
+
+    def test_lines_spanned_exact_line(self):
+        assert lines_spanned(0, LINE_SIZE) == [0]
+
+    def test_lines_spanned_crossing(self):
+        assert lines_spanned(LINE_SIZE - 4, 8) == [0, 1]
+
+    def test_lines_spanned_multiple(self):
+        assert lines_spanned(0, 3 * LINE_SIZE) == [0, 1, 2]
+
+    def test_lines_spanned_zero_bytes(self):
+        assert lines_spanned(100, 0) == []
+
+    def test_lines_spanned_offset(self):
+        lines = lines_spanned(5 * LINE_SIZE + 60, 8)
+        assert lines == [5, 6]
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(42, "walker")
+        b = derive_rng(42, "walker")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_decorrelated(self):
+        a = derive_rng(42, "walker")
+        b = derive_rng(42, "emissary")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_seeds_decorrelated(self):
+        a = derive_rng(1, "walker")
+        b = derive_rng(2, "walker")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([4.0]) == pytest.approx(4.0)
+
+    def test_pair(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_matches_log_mean(self):
+        vals = [1.1, 0.9, 1.3, 2.0]
+        expected = math.exp(sum(math.log(v) for v in vals) / len(vals))
+        assert geomean(vals) == pytest.approx(expected)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,80 @@
+"""Edge-case guards in the walker and generator."""
+
+import pytest
+
+from repro.workloads.generator import generate_layout
+from repro.workloads.layout import BasicBlock, BranchKind, CodeLayout, Function
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.walker import PathWalker
+
+
+class TestStackGuards:
+    def test_stack_overflow_detected(self):
+        """A (hand-built) self-recursive layout must trip the guard
+        instead of looping forever."""
+        blocks = [
+            BasicBlock(bid=0, addr=0x1000, num_instructions=2, fid=0,
+                       kind=BranchKind.CALL, taken_target=0, fallthrough=1),
+            BasicBlock(bid=1, addr=0x1008, num_instructions=2, fid=0,
+                       kind=BranchKind.RETURN),
+        ]
+        layout = CodeLayout(blocks=blocks,
+                            functions=[Function(fid=0, name="rec", entry=0,
+                                                blocks=[0, 1])])
+        walker = PathWalker(layout, seed=1)
+        with pytest.raises(RuntimeError):
+            for _ in range(10_000):
+                walker.next_event()
+
+    def test_return_underflow_restarts_dispatcher(self):
+        blocks = [
+            BasicBlock(bid=0, addr=0x1000, num_instructions=2, fid=0,
+                       kind=BranchKind.RETURN),
+        ]
+        layout = CodeLayout(blocks=blocks,
+                            functions=[Function(fid=0, name="d", entry=0,
+                                                blocks=[0])])
+        walker = PathWalker(layout, seed=1)
+        ev = walker.next_event()
+        assert ev.next_bid == 0  # restarted at the dispatcher entry
+
+    def test_call_without_return_point_raises(self):
+        blocks = [
+            BasicBlock(bid=0, addr=0x1000, num_instructions=2, fid=0,
+                       kind=BranchKind.CALL, taken_target=1,
+                       fallthrough=None),
+            BasicBlock(bid=1, addr=0x2000, num_instructions=2, fid=1,
+                       kind=BranchKind.RETURN),
+        ]
+        layout = CodeLayout(
+            blocks=blocks,
+            functions=[Function(fid=0, name="a", entry=0, blocks=[0]),
+                       Function(fid=1, name="b", entry=1, blocks=[1])])
+        walker = PathWalker(layout, seed=1)
+        with pytest.raises(ValueError):
+            walker.next_event()
+
+
+class TestTinyProfiles:
+    """Degenerate profile sizes must still generate valid layouts."""
+
+    @pytest.mark.parametrize("num_functions", [8, 12, 20])
+    def test_tiny_layout_generates_and_walks(self, num_functions):
+        profile = WorkloadProfile(name="tiny-%d" % num_functions,
+                                  num_functions=num_functions,
+                                  num_handlers=2, num_leaves=2,
+                                  call_depth=2)
+        layout = generate_layout(profile, seed=1)
+        layout.validate()
+        walker = PathWalker(layout, seed=1)
+        for _ in range(500):
+            walker.next_event()
+
+    def test_single_tier_depth(self):
+        profile = WorkloadProfile(name="flat", num_functions=20,
+                                  num_handlers=4, num_leaves=4, call_depth=1)
+        layout = generate_layout(profile, seed=1)
+        layout.validate()
+        walker = PathWalker(layout, seed=1)
+        for _ in range(500):
+            walker.next_event()

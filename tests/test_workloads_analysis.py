@@ -1,0 +1,113 @@
+"""Tests for the workload characterization module."""
+
+import pytest
+
+from repro.workloads.analysis import (
+    ReuseDistanceProfile,
+    WorkloadCharacteristics,
+    _LRUStack,
+    characterize,
+    render,
+)
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+SMALL = WorkloadProfile(name="analysis-test", num_functions=60,
+                        num_handlers=8, num_leaves=10, call_depth=3)
+
+
+class TestLRUStack:
+    def test_first_access_cold(self):
+        lru = _LRUStack()
+        assert lru.access(5) is None
+
+    def test_immediate_reuse_distance_zero(self):
+        lru = _LRUStack()
+        lru.access(5)
+        assert lru.access(5) == 0
+
+    def test_distance_counts_distinct_intervening(self):
+        lru = _LRUStack()
+        lru.access(1)
+        lru.access(2)
+        lru.access(3)
+        assert lru.access(1) == 2
+
+    def test_repeats_do_not_inflate_distance(self):
+        lru = _LRUStack()
+        lru.access(1)
+        lru.access(2)
+        lru.access(2)
+        lru.access(2)
+        assert lru.access(1) == 1
+
+
+class TestReuseProfile:
+    def _profile(self):
+        return ReuseDistanceProfile(
+            bucket_bounds=(16, 64, 1 << 30),
+            bucket_counts=[50, 30, 20],
+            cold_accesses=10,
+            total_accesses=110,
+        )
+
+    def test_tiny_cache_misses_most(self):
+        p = self._profile()
+        # distances >= 16 plus cold miss a 16-line cache... bucket bound 16
+        # means distances < 16 hit
+        assert p.miss_rate_at(8) == pytest.approx((50 + 30 + 20 + 10) / 110)
+
+    def test_large_cache_only_cold(self):
+        p = self._profile()
+        assert p.miss_rate_at(1 << 31) == pytest.approx(10 / 110)
+
+    def test_monotone_in_cache_size(self):
+        p = self._profile()
+        rates = [p.miss_rate_at(c) for c in (8, 32, 128, 1 << 31)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_empty_profile(self):
+        p = ReuseDistanceProfile(bucket_bounds=(16,), bucket_counts=[0])
+        assert p.miss_rate_at(16) == 0.0
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def ch(self):
+        return characterize(SMALL, instructions=30_000, seed=2)
+
+    def test_instruction_budget_met(self, ch):
+        assert ch.instructions >= 30_000
+
+    def test_branch_mix_sums_to_one(self, ch):
+        assert sum(ch.branch_mix.values()) == pytest.approx(1.0)
+
+    def test_live_set_within_footprint(self, ch):
+        assert 0 < ch.live_lines <= ch.footprint_lines
+
+    def test_reuse_profile_counts_accesses(self, ch):
+        assert ch.reuse.total_accesses > 0
+        counted = ch.reuse.cold_accesses + sum(ch.reuse.bucket_counts)
+        assert counted == ch.reuse.total_accesses
+
+    def test_estimated_mpki_decreases_with_cache(self, ch):
+        assert (ch.estimated_l1i_mpki(64)
+                >= ch.estimated_l1i_mpki(1024))
+
+    def test_render(self, ch):
+        text = render(ch)
+        assert "branch mix" in text
+        assert "MPKI" in text
+
+    def test_deterministic(self):
+        a = characterize(SMALL, instructions=10_000, seed=2)
+        b = characterize(SMALL, instructions=10_000, seed=2)
+        assert a.live_lines == b.live_lines
+        assert a.reuse.bucket_counts == b.reuse.bucket_counts
+
+
+class TestRegimeOrdering:
+    def test_heavy_profile_misses_more(self):
+        heavy = characterize(get_profile("cassandra"), instructions=60_000)
+        light = characterize(get_profile("noop"), instructions=60_000)
+        assert (heavy.reuse.miss_rate_at(128)
+                > light.reuse.miss_rate_at(128))

@@ -1,0 +1,139 @@
+"""Tests for the synthetic program generator."""
+
+import pytest
+
+from repro.workloads.generator import MAX_CALL_SITES, generate_layout
+from repro.workloads.layout import BranchKind
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+SMALL = WorkloadProfile(name="small-test", num_functions=60, num_handlers=8,
+                        num_leaves=10, call_depth=3)
+
+
+@pytest.fixture(scope="module")
+def small_layout():
+    return generate_layout(SMALL, seed=7)
+
+
+@pytest.fixture(scope="module")
+def cassandra_layout():
+    return generate_layout(get_profile("cassandra"), seed=1)
+
+
+class TestGeneratorStructure:
+    def test_validates(self, small_layout):
+        small_layout.validate()
+
+    def test_deterministic(self):
+        a = generate_layout(SMALL, seed=3)
+        b = generate_layout(SMALL, seed=3)
+        assert [blk.addr for blk in a.blocks] == [blk.addr for blk in b.blocks]
+        assert [blk.kind for blk in a.blocks] == [blk.kind for blk in b.blocks]
+
+    def test_seed_changes_layout(self):
+        a = generate_layout(SMALL, seed=3)
+        b = generate_layout(SMALL, seed=4)
+        assert ([blk.addr for blk in a.blocks]
+                != [blk.addr for blk in b.blocks])
+
+    def test_function_count(self, small_layout):
+        assert len(small_layout.functions) == SMALL.num_functions
+
+    def test_dispatcher_loops_forever(self, small_layout):
+        dispatcher = small_layout.functions[0]
+        kinds = [small_layout.blocks[b].kind for b in dispatcher.blocks]
+        assert BranchKind.INDIRECT_CALL in kinds
+        assert BranchKind.DIRECT in kinds
+        # the direct jump targets the dispatcher entry
+        loop = [small_layout.blocks[b] for b in dispatcher.blocks
+                if small_layout.blocks[b].kind is BranchKind.DIRECT][0]
+        assert loop.taken_target == dispatcher.entry
+
+    def test_dispatcher_calls_handlers(self, small_layout):
+        call = small_layout.blocks[1]
+        assert call.kind is BranchKind.INDIRECT_CALL
+        # every target is a function entry
+        entries = {f.entry for f in small_layout.functions}
+        assert set(call.indirect_targets) <= entries
+
+    def test_every_function_ends_in_return(self, small_layout):
+        for func in small_layout.functions[1:]:
+            last = small_layout.blocks[func.blocks[-1]]
+            assert last.kind is BranchKind.RETURN
+
+    def test_leaves_make_no_calls(self, small_layout):
+        first_leaf = SMALL.num_functions - SMALL.num_leaves
+        for func in small_layout.functions[first_leaf:]:
+            for bid in func.blocks:
+                assert small_layout.blocks[bid].kind not in (
+                    BranchKind.CALL, BranchKind.INDIRECT_CALL)
+
+    def test_call_sites_capped(self, small_layout):
+        for func in small_layout.functions[1:]:
+            calls = sum(1 for bid in func.blocks
+                        if small_layout.blocks[bid].kind in
+                        (BranchKind.CALL, BranchKind.INDIRECT_CALL))
+            assert calls <= MAX_CALL_SITES
+
+    def test_calls_target_function_entries(self, small_layout):
+        entries = {f.entry for f in small_layout.functions}
+        for blk in small_layout.blocks:
+            if blk.kind is BranchKind.CALL:
+                assert blk.taken_target in entries
+            if blk.kind is BranchKind.INDIRECT_CALL:
+                assert set(blk.indirect_targets) <= entries
+
+    def test_addresses_non_overlapping(self, small_layout):
+        spans = sorted((b.addr, b.end_addr) for b in small_layout.blocks)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_blocks_within_function_contiguous(self, small_layout):
+        for func in small_layout.functions:
+            for a, b in zip(func.blocks, func.blocks[1:]):
+                assert (small_layout.blocks[a].end_addr
+                        == small_layout.blocks[b].addr)
+
+    def test_indirect_blocks_have_patterns(self, small_layout):
+        for blk in small_layout.blocks:
+            if blk.kind in (BranchKind.INDIRECT, BranchKind.INDIRECT_CALL):
+                assert blk.indirect_pattern
+                assert all(0 <= i < len(blk.indirect_targets)
+                           for i in blk.indirect_pattern)
+
+
+class TestLoopDiscipline:
+    """Loop bodies must not contain calls, indirects, or other back-edges."""
+
+    def test_no_calls_inside_loop_bodies(self, cassandra_layout):
+        lay = cassandra_layout
+        unsafe = (BranchKind.CALL, BranchKind.INDIRECT_CALL,
+                  BranchKind.INDIRECT)
+        for blk in lay.blocks:
+            if (blk.kind is BranchKind.COND and blk.taken_target is not None
+                    and blk.taken_target < blk.bid):
+                body = range(blk.taken_target, blk.bid)
+                for bid in body:
+                    assert lay.blocks[bid].kind not in unsafe
+
+    def test_no_nested_back_edges(self, cassandra_layout):
+        lay = cassandra_layout
+        for blk in lay.blocks:
+            if (blk.kind is BranchKind.COND and blk.taken_target is not None
+                    and blk.taken_target < blk.bid):
+                for bid in range(blk.taken_target, blk.bid):
+                    inner = lay.blocks[bid]
+                    assert not (inner.kind is BranchKind.COND
+                                and inner.taken_target is not None
+                                and inner.taken_target < inner.bid)
+
+
+class TestFootprint:
+    def test_cassandra_footprint_dwarfs_l1i(self, cassandra_layout):
+        # scaled L1-I is 8 KB = 128 lines; the footprint must be 10x+
+        assert cassandra_layout.footprint_lines() > 1280
+
+    def test_profiles_ordered_by_size(self):
+        big = generate_layout(get_profile("cassandra"), seed=1)
+        small = generate_layout(get_profile("noop"), seed=1)
+        assert big.footprint_lines() > small.footprint_lines()

@@ -1,0 +1,107 @@
+"""Statistical tests of the indirect-dispatch pattern machinery.
+
+The indirect model is what makes ITTAGE-predictability and path
+diversity coexist (DESIGN.md §8); these tests pin its distributional
+contracts so profile tuning cannot silently break them.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.utils import derive_rng
+from repro.workloads.generator import _cumulative, _make_pattern, _zipf_weights
+from repro.workloads.layout import BranchKind
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.walker import PathWalker
+
+
+class TestMakePattern:
+    def test_single_target_is_monomorphic(self):
+        rng = random.Random(1)
+        pattern = _make_pattern(1, (1.0,), rng, mono_frac=0.0)
+        assert pattern == (0,)
+
+    def test_mono_frac_one_gives_single_element(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            pattern = _make_pattern(5, _cumulative([1] * 5), rng,
+                                    mono_frac=1.0)
+            assert len(pattern) == 1
+
+    def test_polymorphic_has_dominant_run(self):
+        rng = random.Random(2)
+        seen_poly = 0
+        for _ in range(50):
+            pattern = _make_pattern(4, _cumulative([1] * 4), rng,
+                                    mono_frac=0.0)
+            assert len(pattern) >= 4  # run of >=3 plus an excursion
+            counts = Counter(pattern)
+            dominant, dom_count = counts.most_common(1)[0]
+            assert dom_count >= len(pattern) - 2
+            if len(counts) > 1:
+                seen_poly += 1
+        assert seen_poly == 50  # mono_frac=0 always polymorphic
+
+    def test_indices_in_range(self):
+        rng = random.Random(3)
+        for n in (2, 3, 8):
+            pattern = _make_pattern(n, _cumulative([1] * n), rng,
+                                    mono_frac=0.0)
+            assert all(0 <= i < n for i in pattern)
+
+
+class TestZipfWeights:
+    def test_count(self):
+        assert len(_zipf_weights(10, 0.5, random.Random(1))) == 10
+
+    def test_flat_alpha_zero(self):
+        w = _zipf_weights(5, 0.0, random.Random(1))
+        assert all(x == w[0] for x in w)
+
+    def test_skew_increases_with_alpha(self):
+        flat = sorted(_zipf_weights(20, 0.1, random.Random(1)))
+        skewed = sorted(_zipf_weights(20, 1.5, random.Random(1)))
+        assert (skewed[-1] / skewed[0]) > (flat[-1] / flat[0])
+
+    def test_cumulative_ends_at_one(self):
+        cum = _cumulative(_zipf_weights(7, 0.7, random.Random(1)))
+        assert cum[-1] == pytest.approx(1.0)
+        assert list(cum) == sorted(cum)
+
+
+class TestDynamicFrequencies:
+    def test_noise_rate_observed(self):
+        """With noise p, roughly p of indirect executions deviate from
+        the pattern."""
+        profile = WorkloadProfile(name="noise-test", num_functions=60,
+                                  num_handlers=8, num_leaves=10,
+                                  call_depth=3, indirect_mono_frac=0.0)
+        layout = generate_layout(profile, seed=3)
+        walker = PathWalker(layout, seed=3, indirect_noise=0.3)
+        expected = {}
+        deviations = 0
+        total = 0
+        positions = {}
+        for _ in range(30_000):
+            ev = walker.next_event()
+            blk = ev.block
+            if blk.kind not in (BranchKind.INDIRECT,
+                                BranchKind.INDIRECT_CALL):
+                continue
+            pos = positions.get(blk.bid, 0)
+            want = blk.indirect_targets[
+                blk.indirect_pattern[pos % len(blk.indirect_pattern)]]
+            total += 1
+            # the walker advances its own pattern pointer only when it
+            # follows the pattern, so track deviations loosely: a draw
+            # that differs from every pattern continuation is noise
+            if ev.next_bid != want:
+                deviations += 1
+                positions[blk.bid] = pos  # pointer did not advance
+            else:
+                positions[blk.bid] = pos + 1
+        assert total > 200
+        assert 0.1 < deviations / total < 0.6

@@ -1,0 +1,121 @@
+"""Tests for the static code layout model."""
+
+import pytest
+
+from repro.utils import INSTRUCTION_SIZE, LINE_SIZE
+from repro.workloads.layout import BasicBlock, BranchKind, CodeLayout, Function
+
+
+def make_block(bid=0, addr=0x1000, n=4, **kw):
+    return BasicBlock(bid=bid, addr=addr, num_instructions=n, **kw)
+
+
+class TestBasicBlock:
+    def test_size_bytes(self):
+        assert make_block(n=5).size_bytes == 5 * INSTRUCTION_SIZE
+
+    def test_end_addr(self):
+        b = make_block(addr=0x1000, n=3)
+        assert b.end_addr == 0x1000 + 3 * INSTRUCTION_SIZE
+
+    def test_branch_pc_is_last_instruction(self):
+        b = make_block(addr=0x1000, n=4)
+        assert b.branch_pc == 0x1000 + 3 * INSTRUCTION_SIZE
+
+    def test_single_instruction_branch_pc(self):
+        b = make_block(addr=0x1000, n=1)
+        assert b.branch_pc == 0x1000
+
+    def test_is_branch(self):
+        assert not make_block(kind=BranchKind.FALLTHROUGH).is_branch
+        assert make_block(kind=BranchKind.COND).is_branch
+        assert make_block(kind=BranchKind.RETURN).is_branch
+
+    def test_lines_single(self):
+        b = make_block(addr=0x1000, n=2)
+        assert b.lines() == [0x1000 // LINE_SIZE]
+
+    def test_lines_crossing(self):
+        b = make_block(addr=0x1000 + LINE_SIZE - INSTRUCTION_SIZE, n=2)
+        assert len(b.lines()) == 2
+
+
+def tiny_layout():
+    """Two-function layout: f0 = dispatcher-ish loop, f1 = callee."""
+    blocks = [
+        BasicBlock(bid=0, addr=0x1000, num_instructions=2, fid=0,
+                   kind=BranchKind.CALL, taken_target=2, fallthrough=1),
+        BasicBlock(bid=1, addr=0x1008, num_instructions=2, fid=0,
+                   kind=BranchKind.DIRECT, taken_target=0, fallthrough=None),
+        BasicBlock(bid=2, addr=0x2000, num_instructions=3, fid=1,
+                   kind=BranchKind.RETURN, fallthrough=None),
+    ]
+    functions = [
+        Function(fid=0, name="main", entry=0, blocks=[0, 1]),
+        Function(fid=1, name="callee", entry=2, blocks=[2]),
+    ]
+    return CodeLayout(blocks=blocks, functions=functions)
+
+
+class TestCodeLayout:
+    def test_validate_ok(self):
+        tiny_layout().validate()
+
+    def test_num_blocks(self):
+        assert tiny_layout().num_blocks == 3
+
+    def test_total_instructions(self):
+        assert tiny_layout().total_instructions == 7
+
+    def test_footprint_lines(self):
+        lay = tiny_layout()
+        assert lay.footprint_lines() == 2  # 0x1000.. and 0x2000..
+
+    def test_entry_index(self):
+        lay = tiny_layout()
+        idx = lay.entry_index()
+        assert idx[0x1000] == 0
+        assert idx[0x2000] == 2
+
+    def test_entry_index_cached(self):
+        lay = tiny_layout()
+        assert lay.entry_index() is lay.entry_index()
+
+    def test_block_at(self):
+        lay = tiny_layout()
+        assert lay.block_at(0x1004).bid == 0
+        assert lay.block_at(0x2004).bid == 2
+        assert lay.block_at(0x9999) is None
+
+    def test_validate_rejects_bad_successor(self):
+        lay = tiny_layout()
+        lay.blocks[0].taken_target = 99
+        with pytest.raises(ValueError):
+            lay.validate()
+
+    def test_validate_rejects_empty_block(self):
+        lay = tiny_layout()
+        lay.blocks[0].num_instructions = 0
+        with pytest.raises(ValueError):
+            lay.validate()
+
+    def test_validate_rejects_cond_without_fallthrough(self):
+        lay = tiny_layout()
+        lay.blocks[0].kind = BranchKind.COND
+        lay.blocks[0].fallthrough = None
+        with pytest.raises(ValueError):
+            lay.validate()
+
+    def test_validate_rejects_indirect_without_targets(self):
+        lay = tiny_layout()
+        lay.blocks[0].kind = BranchKind.INDIRECT
+        lay.blocks[0].indirect_targets = ()
+        with pytest.raises(ValueError):
+            lay.validate()
+
+    def test_validate_rejects_bad_bias(self):
+        lay = tiny_layout()
+        lay.blocks[0].kind = BranchKind.COND
+        lay.blocks[0].taken_bias = 1.5
+        with pytest.raises(ValueError):
+            lay.validate()

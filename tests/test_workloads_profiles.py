@@ -1,0 +1,91 @@
+"""Tests for the benchmark profile catalog."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.profiles import (
+    BENCHMARK_NAMES,
+    PROFILES,
+    WorkloadProfile,
+    get_profile,
+)
+
+
+class TestCatalog:
+    def test_sixteen_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 16
+
+    def test_every_name_has_profile(self):
+        for name in BENCHMARK_NAMES:
+            assert name in PROFILES
+
+    def test_profiles_keyed_by_own_name(self):
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+
+    def test_get_profile(self):
+        assert get_profile("cassandra").name == "cassandra"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("nonexistent-benchmark")
+
+    def test_paper_suite_members(self):
+        for name in ("cassandra", "tomcat", "kafka", "xalan", "finagle-http",
+                     "dotty", "tpcc", "ycsb", "twitter", "voter", "smallbank",
+                     "tatp", "sibench", "noop", "verilator",
+                     "speedometer2.0"):
+            assert name in BENCHMARK_NAMES
+
+
+class TestProfileValues:
+    def test_probabilities_in_range(self):
+        for profile in PROFILES.values():
+            for field in ("p_cond", "p_indirect", "p_direct",
+                          "indirect_call_frac", "leaf_call_frac",
+                          "loop_back_prob", "loop_taken_bias",
+                          "backend_stall_prob", "data_access_prob",
+                          "indirect_noise", "indirect_mono_frac"):
+                value = getattr(profile, field)
+                assert 0.0 <= value <= 1.0, (profile.name, field, value)
+
+    def test_terminator_mix_leaves_fallthrough_mass(self):
+        for profile in PROFILES.values():
+            total = profile.p_cond + profile.p_indirect + profile.p_direct
+            assert total < 1.0, profile.name
+
+    def test_bias_mix_sums_to_at_most_one(self):
+        for profile in PROFILES.values():
+            assert sum(profile.bias_mix) <= 1.0 + 1e-9
+
+    def test_structure_sane(self):
+        for profile in PROFILES.values():
+            assert profile.num_handlers + profile.num_leaves < profile.num_functions
+            assert profile.call_depth >= 1
+            assert profile.mean_instructions_per_block >= 2
+
+    def test_miss_heavy_benchmarks_are_bigger(self):
+        assert (PROFILES["cassandra"].num_functions
+                > PROFILES["noop"].num_functions)
+        assert (PROFILES["verilator"].mean_instructions_per_block
+                > PROFILES["cassandra"].mean_instructions_per_block)
+
+
+class TestScaled:
+    def test_scaled_overrides_field(self):
+        p = get_profile("cassandra").scaled(num_functions=123)
+        assert p.num_functions == 123
+
+    def test_scaled_preserves_others(self):
+        base = get_profile("cassandra")
+        p = base.scaled(num_functions=123)
+        assert p.num_handlers == base.num_handlers
+
+    def test_scaled_returns_new_object(self):
+        base = get_profile("cassandra")
+        assert base.scaled() is not base
+
+    def test_profiles_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            get_profile("cassandra").num_functions = 5

@@ -1,0 +1,160 @@
+"""Tests for trace recording and replay."""
+
+import io
+
+import pytest
+
+from repro.simulator.machine import Machine
+from repro.workloads.generator import generate_layout
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.trace import (
+    TraceError,
+    TraceHeader,
+    TraceReplayer,
+    record_to_string,
+)
+from repro.workloads.walker import PathWalker
+
+SMALL = WorkloadProfile(name="trace-test", num_functions=50, num_handlers=6,
+                        num_leaves=8, call_depth=3)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return generate_layout(SMALL, seed=4)
+
+
+@pytest.fixture(scope="module")
+def trace_text(layout):
+    walker = PathWalker(layout, seed=4)
+    return record_to_string(walker, 2000, workload=SMALL.name, seed=4)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        h = TraceHeader(workload="x", seed=7, num_blocks=99)
+        assert TraceHeader.parse(h.line()) == h
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TraceError):
+            TraceHeader.parse("not a trace")
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(TraceError):
+            TraceHeader.parse("REPRO-TRACE v99 workload=x seed=1 blocks=5")
+
+
+class TestRecord:
+    def test_header_first_line(self, trace_text):
+        assert trace_text.splitlines()[0].startswith("REPRO-TRACE v1")
+
+    def test_record_count(self, trace_text):
+        assert len(trace_text.splitlines()) == 2001
+
+
+class TestReplay:
+    def test_replay_matches_recording(self, layout, trace_text):
+        replayer = TraceReplayer(layout, trace_text)
+        walker = PathWalker(layout, seed=4)
+        for _ in range(2000):
+            a = replayer.next_event()
+            b = walker.next_event()
+            assert a.block.bid == b.block.bid
+            assert a.taken == b.taken
+            assert a.next_bid == b.next_bid
+            assert a.target_addr == b.target_addr
+
+    def test_exhaustion_raises(self, layout, trace_text):
+        replayer = TraceReplayer(layout, trace_text)
+        for _ in range(2000):
+            replayer.next_event()
+        with pytest.raises(StopIteration):
+            replayer.next_event()
+
+    def test_loop_wraps(self, layout, trace_text):
+        replayer = TraceReplayer(layout, trace_text, loop=True,
+                                 verify=False)
+        for _ in range(4500):
+            replayer.next_event()
+        assert replayer.events == 4500
+
+    def test_len(self, layout, trace_text):
+        assert len(TraceReplayer(layout, trace_text)) == 2000
+
+    def test_stack_tracking(self, layout, trace_text):
+        replayer = TraceReplayer(layout, trace_text)
+        for _ in range(500):
+            replayer.next_event()
+        assert isinstance(replayer.snapshot_stack(), list)
+
+
+class TestValidation:
+    def test_rejects_wrong_layout(self, trace_text):
+        other = generate_layout(SMALL.scaled(num_functions=51), seed=4)
+        with pytest.raises(TraceError):
+            TraceReplayer(other, trace_text)
+
+    def test_rejects_empty(self, layout):
+        with pytest.raises(TraceError):
+            TraceReplayer(layout, "")
+
+    def test_rejects_header_only(self, layout):
+        header = TraceHeader(workload="x", seed=4,
+                             num_blocks=layout.num_blocks)
+        with pytest.raises(TraceError):
+            TraceReplayer(layout, header.line() + "\n")
+
+    def test_rejects_bad_fields(self, layout):
+        header = TraceHeader(workload="x", seed=4,
+                             num_blocks=layout.num_blocks)
+        with pytest.raises(TraceError):
+            TraceReplayer(layout, header.line() + "\n1 2\n")
+
+    def test_rejects_out_of_range_block(self, layout):
+        header = TraceHeader(workload="x", seed=4,
+                             num_blocks=layout.num_blocks)
+        bad = header.line() + "\n999999 1 0\n"
+        with pytest.raises(TraceError):
+            TraceReplayer(layout, bad)
+
+    def test_rejects_discontinuous_records(self, layout, trace_text):
+        lines = trace_text.splitlines()
+        # splice in a record whose block does not match the predecessor's
+        # successor
+        parts = lines[5].split()
+        wrong = str((int(parts[0]) + 1) % layout.num_blocks)
+        lines[5] = " ".join([wrong, parts[1], parts[2]])
+        with pytest.raises(TraceError):
+            TraceReplayer(layout, "\n".join(lines))
+
+    def test_comments_and_blanks_ignored(self, layout, trace_text):
+        lines = trace_text.splitlines()
+        lines.insert(1, "# a comment")
+        lines.insert(2, "")
+        replayer = TraceReplayer(layout, "\n".join(lines))
+        assert len(replayer) == 2000
+
+
+class TestTraceDrivenMachine:
+    def test_machine_runs_from_trace(self, layout):
+        walker = PathWalker(layout, seed=4)
+        text = record_to_string(walker, 12_000, workload=SMALL.name, seed=4)
+        replayer = TraceReplayer(layout, text, loop=True)
+        machine = Machine(layout, SMALL, walker=replayer, seed=4)
+        stats = machine.run(4000, warmup=500)
+        assert stats.instructions >= 4000
+
+    def test_trace_run_matches_live_run(self, layout):
+        """Replaying a recorded trace must reproduce the live run's
+        committed path exactly (same instruction count per cycle budget)."""
+        walker = PathWalker(layout, seed=4,
+                            indirect_noise=SMALL.indirect_noise)
+        text = record_to_string(walker, 30_000, workload=SMALL.name, seed=4)
+        live = Machine(layout, SMALL, seed=4)
+        live_stats = live.run(5000, warmup=1000)
+        replayed = Machine(layout, SMALL,
+                           walker=TraceReplayer(layout, text), seed=4)
+        replay_stats = replayed.run(5000, warmup=1000)
+        assert replay_stats.cycles == live_stats.cycles
+        assert replay_stats.l1i_misses == live_stats.l1i_misses
+        assert replay_stats.resteers == live_stats.resteers
