@@ -1,20 +1,40 @@
-"""Pre-warm the result cache for the BTB-sweep figures (fig14/fig15)."""
+"""Pre-warm the result cache for the BTB-sweep figures (fig14/fig15).
+
+One parallel suite per BTB size (``--jobs N`` or ``REPRO_JOBS``;
+default: all cores); all sizes accumulate into a single run manifest.
+"""
+import argparse
 import time
+
 from repro.experiments.common import SWEEP_BENCHMARKS
+from repro.simulator import manifest as manifest_mod
 from repro.simulator.config import MachineConfig
-from repro.simulator.runner import run_benchmark
+from repro.simulator.runner import run_suite_parallel
 
 POLICIES = ["baseline", "eip_46", "pdip_11", "pdip_44", "pdip_44_emissary"]
 SIZES = [4096, 65536]  # 8192 covered by the main grid
 
-t0 = time.time()
-for entries in SIZES:
-    config = MachineConfig(btb_entries=entries)
-    for bench in SWEEP_BENCHMARKS:
-        for pol in POLICIES:
-            t1 = time.time()
-            st = run_benchmark(bench, pol, config=config)
-            print(f"{time.time()-t0:7.0f}s btb={entries:6d} {bench:16s} "
-                  f"{pol:18s} IPC={st.ipc:.3f} ({time.time()-t1:.0f}s)",
-                  flush=True)
-print("DONE", time.time() - t0)
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS, "
+                             "else all cores)")
+    args = parser.parse_args()
+
+    t0 = time.time()
+    manifest = manifest_mod.RunManifest(label="prewarm_btb_sweep")
+    for entries in SIZES:
+        config = MachineConfig(btb_entries=entries)
+        print(f"--- btb={entries} ---")
+        run_suite_parallel(POLICIES, benchmarks=SWEEP_BENCHMARKS,
+                           config=config, jobs=args.jobs, verbose=True,
+                           manifest=manifest)
+    path = manifest.write()
+    print(manifest_mod.render_summary(manifest.to_dict()))
+    print(f"manifest: {path}")
+    print("DONE", f"{time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,14 +1,39 @@
-"""Pre-warm the result cache for the main figure grid."""
-import sys, time
-from repro.simulator.runner import run_benchmark, DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
+"""Pre-warm the result cache for the main figure grid.
+
+Fans the (benchmark x policy) grid out across worker processes
+(``--jobs N`` or ``REPRO_JOBS``; default: all cores) and prints the run
+manifest summary when done. Already-cached cells are skipped.
+"""
+import argparse
+import time
+
+from repro.simulator import manifest as manifest_mod
+from repro.simulator.runner import run_suite_parallel
 from repro.workloads.profiles import BENCHMARK_NAMES
 
-POLICIES = ["baseline","2x_il1","emissary","eip_46","eip_analytical","eip_46_emissary",
-            "pdip_11","pdip_22","pdip_44","pdip_87","pdip_44_emissary","pdip_44_zero_cost","fec_ideal"]
-t0=time.time()
-for bench in BENCHMARK_NAMES:
-    for pol in POLICIES:
-        t1=time.time()
-        st = run_benchmark(bench, pol)
-        print(f"{time.time()-t0:7.0f}s {bench:16s} {pol:18s} IPC={st.ipc:.3f} L1I={st.l1i_mpki:.1f} ({time.time()-t1:.0f}s)", flush=True)
-print("DONE", time.time()-t0)
+POLICIES = ["baseline", "2x_il1", "emissary", "eip_46", "eip_analytical",
+            "eip_46_emissary", "pdip_11", "pdip_22", "pdip_44", "pdip_87",
+            "pdip_44_emissary", "pdip_44_zero_cost", "fec_ideal"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS, "
+                             "else all cores)")
+    args = parser.parse_args()
+
+    t0 = time.time()
+    manifest = manifest_mod.RunManifest(label="prewarm_main_grid")
+    results = run_suite_parallel(POLICIES, benchmarks=BENCHMARK_NAMES,
+                                 jobs=args.jobs, verbose=True,
+                                 manifest=manifest)
+    path = manifest.write()
+    print(manifest_mod.render_summary(manifest.to_dict()))
+    print(f"manifest: {path}")
+    print(f"DONE {len(results)} benchmarks x {len(POLICIES)} policies "
+          f"in {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

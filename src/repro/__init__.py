@@ -32,7 +32,12 @@ from repro.simulator.policies import (
     build_machine_for,
     get_policy,
 )
-from repro.simulator.runner import run_benchmark, run_suite, speedup
+from repro.simulator.runner import (
+    run_benchmark,
+    run_suite,
+    run_suite_parallel,
+    speedup,
+)
 from repro.simulator.stats import SimulationStats
 from repro.workloads.profiles import (
     BENCHMARK_NAMES,
@@ -59,6 +64,7 @@ __all__ = [
     "get_policy",
     "run_benchmark",
     "run_suite",
+    "run_suite_parallel",
     "speedup",
     "SimulationStats",
     "BENCHMARK_NAMES",

@@ -6,6 +6,7 @@ Commands:
 * ``suite`` — run a benchmark x policy grid and print speedups;
 * ``figure`` — regenerate one paper figure/table by id (fig01..fig16,
   tab01/tab04/tab05) or ``all``;
+* ``manifest`` — print the summary of a suite run's JSON manifest;
 * ``workload`` — characterize a benchmark's instruction stream;
 * ``trace`` — record a workload trace to a file, or replay one;
 * ``list`` — show the available benchmarks, policies, and figures.
@@ -23,7 +24,7 @@ from repro.simulator.runner import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_WARMUP,
     run_benchmark,
-    run_suite,
+    run_suite_parallel,
 )
 from repro.utils import geomean
 from repro.workloads.profiles import BENCHMARK_NAMES, get_profile
@@ -65,9 +66,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--policies", default="baseline,pdip_44",
                          help="comma-separated policy names")
     _budget_args(p_suite)
+    _jobs_arg(p_suite)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
     p_fig.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+    _jobs_arg(p_fig)
+
+    p_man = sub.add_parser("manifest", help="summarize a suite run manifest")
+    p_man.add_argument("path", nargs="?", default=None,
+                       help="manifest JSON (default: the most recent)")
+    p_man.add_argument("--cells", action="store_true",
+                       help="also list the per-cell records")
 
     p_wl = sub.add_parser("workload", help="characterize a benchmark")
     p_wl.add_argument("benchmark", choices=BENCHMARK_NAMES)
@@ -102,6 +111,12 @@ def _budget_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true")
 
 
+def _jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the simulation grid "
+                             "(default: REPRO_JOBS env, else serial)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one benchmark x policy."""
     stats = run_benchmark(args.benchmark, args.policy,
@@ -128,9 +143,15 @@ def cmd_suite(args: argparse.Namespace) -> int:
     benches = (list(BENCHMARK_NAMES) if args.benchmarks == "all"
                else [b.strip() for b in args.benchmarks.split(",")])
     policies = [p.strip() for p in args.policies.split(",")]
-    results = run_suite(policies, benchmarks=benches,
-                        instructions=args.instructions, warmup=args.warmup,
-                        seed=args.seed, verbose=True)
+    from repro.simulator import manifest as manifest_mod
+
+    results = run_suite_parallel(policies, benchmarks=benches,
+                                 instructions=args.instructions,
+                                 warmup=args.warmup, seed=args.seed,
+                                 jobs=args.jobs, verbose=True)
+    latest = manifest_mod.latest()
+    if latest is not None:
+        print(f"\nmanifest: {latest}")
     if "baseline" in policies:
         print()
         for policy in policies:
@@ -145,11 +166,44 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     """``repro figure``: regenerate paper artifacts."""
+    import os
+
+    if args.jobs is not None:
+        # the figure drivers read REPRO_JOBS through experiments.common
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
         module = importlib.import_module(FIGURES[name])
         print(module.render(module.run()))
         print()
+    return 0
+
+
+def cmd_manifest(args: argparse.Namespace) -> int:
+    """``repro manifest``: summarize a suite run's JSON manifest."""
+    from pathlib import Path
+
+    from repro.simulator import manifest as manifest_mod
+
+    path = Path(args.path) if args.path else manifest_mod.latest()
+    if path is None:
+        print("no manifests found under", manifest_mod.manifest_dir())
+        return 1
+    try:
+        data = manifest_mod.load(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest {path}: {exc}")
+        return 1
+    print(f"[{path}]")
+    print(manifest_mod.render_summary(data))
+    if args.cells:
+        print()
+        for cell in data.get("cells", []):
+            src = "hit " if cell["cache_hit"] else cell["worker"]
+            print(f"  {cell['benchmark']:16s} {cell['policy']:18s} "
+                  f"seed={cell['seed']} {src:10s} "
+                  f"{cell['wall_time']:7.2f}s x{cell['attempts']} "
+                  f"{cell['status']}")
     return 0
 
 
@@ -209,6 +263,7 @@ COMMANDS = {
     "run": cmd_run,
     "suite": cmd_suite,
     "figure": cmd_figure,
+    "manifest": cmd_manifest,
     "workload": cmd_workload,
     "trace": cmd_trace,
     "list": cmd_list,

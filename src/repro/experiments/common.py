@@ -5,10 +5,12 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.simulator.config import MachineConfig
 from repro.simulator.runner import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_WARMUP,
-    run_benchmark,
+    resolve_jobs,
+    run_suite_parallel,
 )
 from repro.simulator.stats import SimulationStats
 from repro.utils import geomean
@@ -45,18 +47,32 @@ def suite(benchmarks: Optional[Iterable[str]] = None,
     return list(default)
 
 
+def jobs(value: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit arg > ``REPRO_JOBS`` env > 1.
+
+    Figure drivers default to serial so their behavior (and output
+    interleaving) is unchanged unless the user opts in via ``--jobs`` or
+    ``REPRO_JOBS``.
+    """
+    return resolve_jobs(value, default=1)
+
+
 def collect(policies: Sequence[str], benchmarks: Sequence[str],
-            instructions: int, warmup: int,
-            seed: int = 1) -> Dict[str, Dict[str, SimulationStats]]:
-    """{benchmark: {policy: stats}} through the on-disk result cache."""
-    out: Dict[str, Dict[str, SimulationStats]] = {}
-    for bench in benchmarks:
-        out[bench] = {}
-        for policy in policies:
-            out[bench][policy] = run_benchmark(
-                bench, policy, instructions=instructions, warmup=warmup,
-                seed=seed)
-    return out
+            instructions: int, warmup: int, seed: int = 1,
+            config: Optional[MachineConfig] = None,
+            n_jobs: Optional[int] = None,
+            ) -> Dict[str, Dict[str, SimulationStats]]:
+    """{benchmark: {policy: stats}} through the on-disk result cache.
+
+    Dispatches the grid via
+    :func:`~repro.simulator.runner.run_suite_parallel` — cells fan out
+    across ``n_jobs`` worker processes (default: the ``REPRO_JOBS``
+    env, else serial) and every call emits a run manifest.
+    """
+    return run_suite_parallel(
+        policies, benchmarks=benchmarks, instructions=instructions,
+        warmup=warmup, config=config, seed=seed, jobs=jobs(n_jobs),
+        label="experiment")
 
 
 def speedup_pct(stats: SimulationStats, baseline: SimulationStats) -> float:

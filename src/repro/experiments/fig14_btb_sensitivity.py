@@ -17,7 +17,6 @@ from typing import Iterable, Optional
 from repro.branch.btb import BTB
 from repro.experiments import common
 from repro.simulator.config import MachineConfig
-from repro.simulator.runner import run_benchmark
 from repro.utils import geomean
 
 BTB_SIZES = (4096, 8192, 65536)
@@ -41,14 +40,11 @@ def run(instructions: Optional[int] = None, warmup: Optional[int] = None,
     ipcs = {}    # {btb: {policy/baseline: {bench: ipc}}}
     for entries in btb_sizes:
         config = MachineConfig(btb_entries=entries)
-        per_policy = {}
-        for policy in ("baseline",) + POLICIES:
-            per_bench = {}
-            for bench in benches:
-                st = run_benchmark(bench, policy, instructions=instructions,
-                                   warmup=warmup, config=config, seed=seed)
-                per_bench[bench] = st.ipc
-            per_policy[policy] = per_bench
+        grid = common.collect(("baseline",) + POLICIES, benches,
+                              instructions, warmup, seed=seed, config=config)
+        per_policy = {policy: {bench: grid[bench][policy].ipc
+                               for bench in benches}
+                      for policy in ("baseline",) + POLICIES}
         ipcs[entries] = per_policy
         gains[entries] = {
             p: (geomean([per_policy[p][b] / per_policy["baseline"][b]

@@ -97,7 +97,9 @@ def store(key: str, stats: SimulationStats) -> None:
     data = {name: getattr(stats, name) for name in vars(stats)
             if isinstance(getattr(stats, name), (int, float))}
     data["extra"] = stats.extra
-    tmp = directory / (key + ".tmp")
+    # pid-unique temp name: concurrent writers (parallel suite runs in
+    # separate processes) must not clobber each other mid-write
+    tmp = directory / ("%s.%d.tmp" % (key, os.getpid()))
     with open(tmp, "w") as fh:
         json.dump(data, fh)
     tmp.replace(directory / (key + ".json"))

@@ -1,21 +1,39 @@
 """Suite runner: simulate (benchmark x policy) grids and compare IPC.
 
-Layouts are generated once per benchmark and shared across policies (the
-same binary runs under every configuration, like the paper's
-experiments); each policy still gets its own machine, caches, and
-predictors.
+Layouts are generated once per (benchmark, seed) and shared across
+policies (the same binary runs under every configuration, like the
+paper's experiments); each policy still gets its own machine, caches,
+and predictors. :func:`get_layout` memoizes the generated layouts —
+simulation never mutates a layout, so sharing one object is safe.
+
+Grids are embarrassingly parallel: every cell is an independent
+simulation. :func:`run_suite_parallel` fans the cells of a grid out
+across a :class:`~concurrent.futures.ProcessPoolExecutor`, deduplicates
+cells against the on-disk result cache (and against identical cells
+within the same grid) before dispatch, retries transient worker
+failures with bounded backoff, and emits a JSON run manifest
+(:mod:`repro.simulator.manifest`) recording per-cell wall time, cache
+hit/miss, and worker id. :func:`run_suite` is the serial path — the
+same machinery with ``jobs=1`` — and produces bit-identical stats.
+
+The worker count resolves explicit argument > ``REPRO_JOBS`` env >
+serial (see :func:`resolve_jobs`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.simulator.config import MachineConfig
+from repro.simulator.manifest import CellRecord, RunManifest, config_hash
 from repro.simulator.policies import PolicySpec, build_machine, get_policy
 from repro.simulator.stats import SimulationStats
 from repro.utils import geomean
 from repro.workloads.generator import generate_layout
+from repro.workloads.layout import CodeLayout
 from repro.workloads.profiles import BENCHMARK_NAMES, get_profile
 
 #: default measured instructions (the paper runs 100M in gem5; the pure-
@@ -23,6 +41,47 @@ from repro.workloads.profiles import BENCHMARK_NAMES, get_profile
 #: table, BTB, and caches to converge, see DESIGN.md)
 DEFAULT_INSTRUCTIONS = 400_000
 DEFAULT_WARMUP = 120_000
+
+#: retry budget for transient worker failures (per cell, beyond try #1)
+DEFAULT_RETRIES = 2
+#: base backoff between retry rounds, doubled each round
+_BACKOFF_S = 0.25
+
+#: memoized layouts, keyed by (benchmark, seed); layouts are immutable
+#: during simulation (walkers keep their own pattern/call-stack state)
+_LAYOUT_CACHE: Dict[Tuple[str, int], CodeLayout] = {}
+
+
+def get_layout(benchmark: str, seed: int = 1) -> CodeLayout:
+    """The (memoized) synthetic binary for ``(benchmark, seed)``.
+
+    Repeated calls return the *same* object, so every policy in a suite
+    walks the identical layout.
+    """
+    key = (benchmark, seed)
+    layout = _LAYOUT_CACHE.get(key)
+    if layout is None:
+        layout = generate_layout(get_profile(benchmark), seed=seed)
+        _LAYOUT_CACHE[key] = layout
+    return layout
+
+
+def clear_layout_cache() -> None:
+    """Drop memoized layouts (tests; profile retuning)."""
+    _LAYOUT_CACHE.clear()
+
+
+def resolve_jobs(jobs: Optional[int] = None, default: int = 1) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` env > ``default``."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError("REPRO_JOBS must be an integer, got %r" % env)
+    return max(1, int(default))
 
 
 def run_benchmark(benchmark: str, policy: str,
@@ -46,12 +105,186 @@ def run_benchmark(benchmark: str, policy: str,
         hit = result_cache.load(key)
         if hit is not None:
             return hit
-    layout = generate_layout(profile, seed=seed)
+    layout = get_layout(benchmark, seed=seed)
     machine = build_machine(layout, profile, spec, config=config, seed=seed)
     stats = machine.run(instructions, warmup=warmup)
     if use_cache:
         result_cache.store(key, stats)
     return stats
+
+
+# ----------------------------------------------------------------------
+# grid execution
+# ----------------------------------------------------------------------
+def _simulate_cell(cell: tuple) -> Tuple[SimulationStats, float, int]:
+    """Pool worker: simulate one cell, bypassing the on-disk cache.
+
+    The parent already filtered cache hits and stores the result itself,
+    so workers never touch the cache (no concurrent writes).
+    ``cell`` is ``(benchmark, spec, instructions, warmup, config, seed)``.
+    """
+    benchmark, spec, instructions, warmup, config, seed = cell
+    t0 = time.perf_counter()
+    stats = run_benchmark(benchmark, spec, instructions=instructions,
+                          warmup=warmup, config=config, seed=seed,
+                          use_cache=False)
+    return stats, time.perf_counter() - t0, os.getpid()
+
+
+def _execute_cells(pending: Dict[str, tuple], jobs: int, retries: int,
+                   ) -> Tuple[Dict[str, Tuple[SimulationStats, float, str]],
+                              Dict[str, int], Dict[str, str]]:
+    """Run the cache-miss cells, in-process (``jobs==1``) or in a pool.
+
+    Returns ``(results, attempts, errors)`` where ``results`` maps
+    run-key to ``(stats, wall_time, worker_id)``. Cells that raised are
+    retried up to ``retries`` extra rounds with doubling backoff (a
+    fresh pool each round, so a broken pool is also recovered); cells
+    still failing land in ``errors``.
+    """
+    remaining = dict(pending)
+    results: Dict[str, Tuple[SimulationStats, float, str]] = {}
+    attempts: Dict[str, int] = {key: 0 for key in pending}
+    errors: Dict[str, str] = {}
+    for round_no in range(retries + 1):
+        if not remaining:
+            break
+        if round_no:
+            time.sleep(_BACKOFF_S * (2 ** (round_no - 1)))
+        failed: Dict[str, tuple] = {}
+        errors = {}
+        if jobs <= 1:
+            for key, cell in remaining.items():
+                attempts[key] += 1
+                try:
+                    stats, wall, _pid = _simulate_cell(cell)
+                    results[key] = (stats, wall, "main")
+                except Exception as exc:  # noqa: BLE001 - retried below
+                    failed[key] = cell
+                    errors[key] = repr(exc)
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {pool.submit(_simulate_cell, cell): key
+                           for key, cell in remaining.items()}
+                for future in as_completed(futures):
+                    key = futures[future]
+                    attempts[key] += 1
+                    try:
+                        stats, wall, pid = future.result()
+                        results[key] = (stats, wall, "pid:%d" % pid)
+                    except Exception as exc:  # noqa: BLE001 - retried below
+                        failed[key] = remaining[key]
+                        errors[key] = repr(exc)
+        remaining = failed
+    return results, attempts, errors
+
+
+def run_suite_parallel(policies: Sequence[str],
+                       benchmarks: Optional[Iterable[str]] = None,
+                       instructions: int = DEFAULT_INSTRUCTIONS,
+                       warmup: int = DEFAULT_WARMUP,
+                       config: Optional[MachineConfig] = None,
+                       seed: int = 1,
+                       jobs: Optional[int] = None,
+                       retries: int = DEFAULT_RETRIES,
+                       verbose: bool = False,
+                       manifest: Optional[RunManifest] = None,
+                       label: str = "suite",
+                       ) -> Dict[str, Dict[str, SimulationStats]]:
+    """Run a (benchmark x policy) grid across a process pool.
+
+    Returns ``{benchmark: {policy: stats}}``, exactly like
+    :func:`run_suite` and with field-identical stats. Before dispatch,
+    each cell's result-cache key is computed: cache hits are served from
+    disk, and duplicate cells inside the grid collapse to one
+    simulation. Misses are fanned out across ``jobs`` worker processes
+    (``jobs`` resolves via :func:`resolve_jobs`, default
+    ``os.cpu_count()``); failed cells are retried up to ``retries``
+    extra rounds with doubling backoff. Every run writes a JSON manifest
+    (per-cell timing, cache hit/miss, worker id — see
+    :mod:`repro.simulator.manifest`); pass an explicit ``manifest`` to
+    accumulate several grids into one document, which the caller then
+    writes.
+    """
+    from repro.simulator import cache as result_cache
+
+    names = (list(benchmarks) if benchmarks is not None
+             else list(BENCHMARK_NAMES))
+    specs = [get_policy(p) if isinstance(p, str) else p for p in policies]
+    jobs = resolve_jobs(jobs, default=os.cpu_count() or 1)
+    own_manifest = manifest is None
+    if manifest is None:
+        manifest = RunManifest(label=label, jobs=jobs)
+    else:
+        manifest.jobs = max(manifest.jobs, jobs)
+    cfg_hash = config_hash(config)
+
+    # one slot per grid cell; identical cells share a run key
+    slots: Dict[str, List[Tuple[str, str]]] = {}
+    cells: Dict[str, tuple] = {}
+    for bench in names:
+        for spec in specs:
+            key = result_cache.run_key(bench, spec, instructions, warmup,
+                                       seed, config)
+            slots.setdefault(key, []).append((bench, spec.name))
+            cells.setdefault(key, (bench, spec, instructions, warmup,
+                                   config, seed))
+
+    # serve cache hits up front; only misses go to the workers
+    hits: Dict[str, SimulationStats] = {}
+    pending: Dict[str, tuple] = {}
+    for key, cell in cells.items():
+        cached = result_cache.load(key)
+        if cached is not None:
+            hits[key] = cached
+        else:
+            pending[key] = cell
+
+    computed, attempts, errors = _execute_cells(pending, jobs, retries)
+
+    results: Dict[str, Dict[str, SimulationStats]] = {b: {} for b in names}
+    for key, grid_slots in slots.items():
+        bench, _ = grid_slots[0]
+        if key in hits:
+            stats, wall, worker, status, error = (
+                hits[key], 0.0, "cache", "ok", "")
+            n_attempts = 0
+        elif key in computed:
+            stats, wall, worker = computed[key]
+            status, error = "ok", ""
+            n_attempts = attempts[key]
+            result_cache.store(key, stats)
+        else:
+            stats, wall, worker = None, 0.0, "none"
+            status, error = "failed", errors.get(key, "unknown")
+            n_attempts = attempts.get(key, 0)
+        for i, (bench, policy_name) in enumerate(grid_slots):
+            if stats is not None:
+                results[bench][policy_name] = stats
+                if verbose:
+                    print(f"{bench:16s} {policy_name:18s} {stats.summary()}")
+            # duplicate grid slots share one simulation; only the first
+            # slot carries its wall time, the rest are in-run dedup hits
+            deduped = i > 0 and status == "ok"
+            manifest.add(CellRecord(
+                benchmark=bench, policy=policy_name, seed=seed,
+                instructions=instructions, warmup=warmup, key=key,
+                config_hash=cfg_hash,
+                cache_hit=key in hits or deduped,
+                wall_time=0.0 if deduped else wall,
+                worker="dedup" if deduped and key not in hits else worker,
+                attempts=n_attempts, status=status, error=error))
+
+    if own_manifest:
+        manifest.write()
+    if errors:
+        detail = "; ".join("%s (%s): %s"
+                           % (slots[k][0][0], slots[k][0][1], msg)
+                           for k, msg in list(errors.items())[:5])
+        raise RuntimeError(
+            "%d grid cell(s) failed after %d attempt(s): %s"
+            % (len(errors), retries + 1, detail))
+    return results
 
 
 def run_suite(policies: Sequence[str], benchmarks: Optional[Iterable[str]] = None,
@@ -60,23 +293,18 @@ def run_suite(policies: Sequence[str], benchmarks: Optional[Iterable[str]] = Non
               config: Optional[MachineConfig] = None,
               seed: int = 1,
               verbose: bool = False) -> Dict[str, Dict[str, SimulationStats]]:
-    """Run a (benchmark x policy) grid.
+    """Run a (benchmark x policy) grid serially.
 
     Returns ``{benchmark: {policy: stats}}``. The layout for each
-    benchmark is generated once and reused across policies.
+    benchmark is generated once and reused across policies (see
+    :func:`get_layout`). This is :func:`run_suite_parallel` with
+    ``jobs=1`` — same cache dedup, retry, and manifest behavior,
+    bit-identical stats.
     """
-    names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
-    results: Dict[str, Dict[str, SimulationStats]] = {}
-    for bench in names:
-        results[bench] = {}
-        for policy in policies:
-            spec = get_policy(policy) if isinstance(policy, str) else policy
-            stats = run_benchmark(bench, spec, instructions=instructions,
-                                  warmup=warmup, config=config, seed=seed)
-            results[bench][spec.name] = stats
-            if verbose:
-                print(f"{bench:16s} {spec.name:18s} {stats.summary()}")
-    return results
+    return run_suite_parallel(policies, benchmarks=benchmarks,
+                              instructions=instructions, warmup=warmup,
+                              config=config, seed=seed, jobs=1,
+                              verbose=verbose)
 
 
 def speedup(stats: SimulationStats, baseline: SimulationStats) -> float:

@@ -8,6 +8,8 @@ from repro.cli import FIGURES, build_parser, main
 @pytest.fixture(autouse=True)
 def isolated_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_MANIFEST_DIR", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
 
 
 class TestParser:
@@ -33,6 +35,19 @@ class TestParser:
         for fig in FIGURES:
             args = build_parser().parse_args(["figure", fig])
             assert args.figure == fig
+
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["suite", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["figure", "fig09", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_manifest_args(self):
+        args = build_parser().parse_args(["manifest"])
+        assert args.path is None
+        args = build_parser().parse_args(["manifest", "m.json", "--cells"])
+        assert args.path == "m.json"
+        assert args.cells
 
 
 class TestCommands:
@@ -63,6 +78,34 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "geomean speedup pdip_44" in out
+
+    def test_suite_parallel_writes_manifest(self, capsys):
+        rc = main(["suite", "--benchmarks", "noop",
+                   "--policies", "baseline", "--jobs", "2",
+                   "--instructions", "3000", "--warmup", "500"])
+        assert rc == 0
+        assert "manifest:" in capsys.readouterr().out
+        rc = main(["manifest"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells" in out and "hit rate" in out
+
+    def test_manifest_cells_listing(self, capsys):
+        main(["suite", "--benchmarks", "noop", "--policies", "baseline",
+              "--instructions", "3000", "--warmup", "500"])
+        capsys.readouterr()
+        rc = main(["manifest", "--cells"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "noop" in out and "baseline" in out
+
+    def test_manifest_none_found(self, capsys):
+        assert main(["manifest"]) == 1
+        assert "no manifests" in capsys.readouterr().out
+
+    def test_manifest_unreadable_path(self, capsys):
+        assert main(["manifest", "/nope/does-not-exist.json"]) == 1
+        assert "cannot read manifest" in capsys.readouterr().out
 
     def test_workload(self, capsys):
         rc = main(["workload", "noop", "--instructions", "20000"])
