@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Standalone entry for the simulation-core bench (same as ``repro bench``).
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench.py [--quick] [--check] ...
+
+Records/compares against ``benchmarks/bench_baseline.json`` and writes
+``BENCH_runner.json``. See :mod:`repro.bench` for the cell grid and the
+host-normalization scheme used by the CI regression gate.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench"] + sys.argv[1:]))

@@ -19,10 +19,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional
 
-from repro.utils import derive_rng
+from repro.utils import SLOTTED, derive_rng
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class InFlightBlock:
     """A decoded basic block occupying ROB slots."""
 
@@ -36,6 +36,11 @@ class InFlightBlock:
 class BackendModel:
     """ROB + retire model with stochastic and injected stalls."""
 
+    __slots__ = ("rob_entries", "retire_width", "depth", "stall_prob",
+                 "issue_empty_threshold", "_rng", "_rng_random", "_q",
+                 "_occupancy", "_stall_until", "retired_instructions",
+                 "squashed_instructions", "stall_cycles")
+
     def __init__(self, rob_entries: int = 512, retire_width: int = 12,
                  depth: int = 10, stall_prob: float = 0.10,
                  issue_empty_threshold: int = 12, seed: int = 0):
@@ -45,6 +50,7 @@ class BackendModel:
         self.stall_prob = stall_prob
         self.issue_empty_threshold = issue_empty_threshold
         self._rng = derive_rng(seed, "backend")
+        self._rng_random = self._rng.random  # bound once; called every cycle
         self._q: Deque[InFlightBlock] = deque()
         self._occupancy = 0
         self._stall_until = -1
@@ -66,12 +72,12 @@ class BackendModel:
     def admit(self, entry: object, instructions: int, cycle: int,
               is_wrong_path: bool = False) -> bool:
         """Admit a decoded block; False when the ROB cannot hold it."""
-        if instructions > self.free_slots():
+        occupancy = self._occupancy
+        if instructions > self.rob_entries - occupancy:
             return False
-        self._q.append(InFlightBlock(
-            entry=entry, instructions=instructions, decode_cycle=cycle,
-            is_wrong_path=is_wrong_path))
-        self._occupancy += instructions
+        self._q.append(
+            InFlightBlock(entry, instructions, 0, cycle, is_wrong_path))
+        self._occupancy = occupancy + instructions
         return True
 
     # -- stalls ------------------------------------------------------------
@@ -92,14 +98,16 @@ class BackendModel:
         ``on_retire_block`` fires once per block whose *last* instruction
         retires this cycle (where FEC qualification happens).
         """
-        if cycle < self._stall_until or self._rng.random() < self.stall_prob:
+        if cycle < self._stall_until or self._rng_random() < self.stall_prob:
             self.stall_cycles += 1
             return 0
         budget = self.retire_width
         retired = 0
-        while budget > 0 and self._q:
-            blk = self._q[0]
-            if cycle < blk.decode_cycle + self.depth:
+        q = self._q
+        depth = self.depth
+        while budget > 0 and q:
+            blk = q[0]
+            if cycle < blk.decode_cycle + depth:
                 break
             if blk.is_wrong_path:
                 # wrong-path blocks never retire; they wait for the squash
@@ -110,7 +118,7 @@ class BackendModel:
             retired += take
             self._occupancy -= take
             if blk.retired == blk.instructions:
-                self._q.popleft()
+                q.popleft()
                 if on_retire_block is not None:
                     on_retire_block(blk.entry)
         self.retired_instructions += retired

@@ -22,6 +22,7 @@ from repro.branch.btb import BTB
 from repro.branch.ittage import ITTAGEPredictor
 from repro.branch.ras import ReturnAddressStack
 from repro.branch.tage import TAGEPredictor
+from repro.utils import SLOTTED
 from repro.workloads.layout import BasicBlock, BranchKind
 
 
@@ -45,13 +46,19 @@ class MispredictKind(Enum):
         return self is MispredictKind.BTB_MISS
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class BlockPrediction:
     """BPU verdict for one executed basic block."""
 
     mispredict: MispredictKind
     #: address the (wrong) predicted path starts at, when mispredicted
     predicted_target: Optional[int]
+
+
+#: the no-resteer verdict — by far the most common outcome, so every
+#: correct prediction shares this one immutable instance instead of
+#: allocating a fresh record per block (treat it as read-only)
+_CORRECT = BlockPrediction(MispredictKind.NONE, None)
 
 
 class BranchPredictionUnit:
@@ -89,7 +96,7 @@ class BranchPredictionUnit:
         self.blocks_predicted += 1
         kind = block.kind
         if kind is BranchKind.FALLTHROUGH:
-            return BlockPrediction(MispredictKind.NONE, None)
+            return _CORRECT
 
         pc = block.branch_pc
         fallthrough_addr = block.end_addr
@@ -129,14 +136,14 @@ class BranchPredictionUnit:
                 self.tage.update(pc, True, predicted)
                 return BlockPrediction(MispredictKind.BTB_MISS,
                                        fallthrough_addr)
-            return BlockPrediction(MispredictKind.NONE, None)
+            return _CORRECT
         predicted = self.tage.predict(pc)
         self.tage.update(pc, taken, predicted)
         if predicted != taken:
             self.cond_mispredicts += 1
             wrong = entry.target if predicted else fallthrough_addr
             return BlockPrediction(MispredictKind.COND_MISPREDICT, wrong)
-        return BlockPrediction(MispredictKind.NONE, None)
+        return _CORRECT
 
     def _predict_direct(self, pc: int, target_addr: int,
                         fallthrough_addr: int, kind: str) -> BlockPrediction:
@@ -146,7 +153,7 @@ class BranchPredictionUnit:
             self.btb_misses += 1
             return BlockPrediction(MispredictKind.BTB_MISS, fallthrough_addr)
         # direct targets never change; a hit is always correct
-        return BlockPrediction(MispredictKind.NONE, None)
+        return _CORRECT
 
     def _predict_indirect(self, block: BasicBlock, pc: int, target_addr: int,
                           fallthrough_addr: int) -> BlockPrediction:
@@ -166,7 +173,7 @@ class BranchPredictionUnit:
             self.indirect_mispredicts += 1
             return BlockPrediction(MispredictKind.INDIRECT_MISPREDICT,
                                    predicted)
-        return BlockPrediction(MispredictKind.NONE, None)
+        return _CORRECT
 
     def _predict_return(self, pc: int, target_addr: int,
                         fallthrough_addr: int) -> BlockPrediction:
@@ -180,7 +187,7 @@ class BranchPredictionUnit:
         if predicted != target_addr:
             self.return_mispredicts += 1
             return BlockPrediction(MispredictKind.RETURN_MISPREDICT, predicted)
-        return BlockPrediction(MispredictKind.NONE, None)
+        return _CORRECT
 
     # -- reporting ----------------------------------------------------------
     @property

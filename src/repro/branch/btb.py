@@ -56,8 +56,9 @@ class BTB:
     def lookup(self, pc: int) -> Optional[BTBEntry]:
         """Return the entry for ``pc`` or None on a miss; updates LRU."""
         self.lookups += 1
-        set_idx, tag = self._index(pc)
-        entry = self._sets.get(set_idx, {}).get(tag)
+        word = pc >> 2
+        ways = self._sets.get(word % self.num_sets)
+        entry = ways.get(word // self.num_sets) if ways is not None else None
         if entry is None:
             return None
         self._clock += 1

@@ -55,6 +55,17 @@ class ITTAGEPredictor:
         self._idx_fold = [FoldedHistory(h, log_entries) for h in self.hist_lens]
         self._tag_fold1 = [FoldedHistory(h, tag_bits) for h in self.hist_lens]
         self._tag_fold2 = [FoldedHistory(h, tag_bits - 1) for h in self.hist_lens]
+        # flat (history length, fold) rows for the inlined history shift
+        # (same layout as TAGEPredictor._fold_rows)
+        self._fold_rows = [
+            (self.hist_lens[t], f)
+            for t in range(num_tables)
+            for f in (self._idx_fold[t], self._tag_fold1[t],
+                      self._tag_fold2[t])
+        ]
+        max_h = max(self.hist_lens)
+        self._ghist_cap = 4 * max_h
+        self._ghist_keep = max_h + 1
 
         self.predictions = 0
         self.mispredicts = 0
@@ -138,18 +149,19 @@ class ITTAGEPredictor:
         # Low and high target bits are mixed so that targets differing
         # only in high bits (different functions) or only in low bits
         # (blocks within a function) still produce distinct history.
+        ghist = self._ghist
+        fold_rows = self._fold_rows
         for bit_pos in (2, 3, 4, 5):
             bit = ((target >> bit_pos) ^ (target >> (bit_pos + 10))) & 1
-            self._ghist.append(bit)
-            for t in range(self.num_tables):
-                h = self.hist_lens[t]
-                old = self._ghist[-1 - h]
-                self._idx_fold[t].update(bit, old)
-                self._tag_fold1[t].update(bit, old)
-                self._tag_fold2[t].update(bit, old)
-        max_h = max(self.hist_lens)
-        if len(self._ghist) > 4 * max_h:
-            del self._ghist[: len(self._ghist) - (max_h + 1)]
+            ghist.append(bit)
+            glen = len(ghist)
+            for h, f in fold_rows:
+                value = ((f.value << 1) | bit) ^ (
+                    ghist[glen - 1 - h] << f._out_pos)
+                value ^= value >> f.bits
+                f.value = value & f.mask
+        if len(ghist) > self._ghist_cap:
+            del ghist[: len(ghist) - self._ghist_keep]
 
     # -- reporting ----------------------------------------------------------
     @property

@@ -28,10 +28,13 @@ class FoldedHistory:
     both bits are XORed in at the right positions.
     """
 
+    __slots__ = ("length", "bits", "value", "mask", "_out_pos")
+
     def __init__(self, length: int, compressed_bits: int):
         self.length = length
         self.bits = compressed_bits
         self.value = 0
+        self.mask = (1 << compressed_bits) - 1
         self._out_pos = length % compressed_bits
 
     def update(self, new_bit: int, old_bit: int) -> None:
@@ -40,11 +43,10 @@ class FoldedHistory:
         # overflowed past ``bits`` back into position 0 (the rotation that
         # makes this a pure function of the last ``length`` bits)
         """Advance the folded register by one history bit."""
-        mask = (1 << self.bits) - 1
         value = (self.value << 1) | new_bit
         value ^= old_bit << self._out_pos
         value ^= value >> self.bits
-        self.value = value & mask
+        self.value = value & self.mask
 
 
 class _TaggedEntry:
@@ -88,6 +90,17 @@ class TAGEPredictor:
         self._idx_fold = [FoldedHistory(h, log_entries) for h in self.hist_lens]
         self._tag_fold1 = [FoldedHistory(h, tag_bits) for h in self.hist_lens]
         self._tag_fold2 = [FoldedHistory(h, tag_bits - 1) for h in self.hist_lens]
+        # flat (history length, fold) rows so _shift_history can apply the
+        # folded update inline instead of three method calls per table
+        self._fold_rows = [
+            (self.hist_lens[t], f)
+            for t in range(num_tables)
+            for f in (self._idx_fold[t], self._tag_fold1[t],
+                      self._tag_fold2[t])
+        ]
+        max_h = max(self.hist_lens)
+        self._ghist_cap = 4 * max_h
+        self._ghist_keep = max_h + 1
 
         self._tick = 0  # usefulness aging clock
         self.predictions = 0
@@ -118,14 +131,26 @@ class TAGEPredictor:
         self._base_idx = (pc >> 2) & ((1 << self.log_base_entries) - 1)
         base_pred = self._base[self._base_idx] >= 0
 
+        # hoisted copies of _index/_tag (this loop runs per conditional)
+        log_entries = self.log_entries
+        idx_mask = (1 << log_entries) - 1
+        tag_mask = (1 << self.tag_bits) - 1
+        pc_idx = pc ^ (pc >> log_entries)
+        tables = self._tables
+        idx_fold = self._idx_fold
+        tag_fold1 = self._tag_fold1
+        tag_fold2 = self._tag_fold2
+
         provider = None
         provider_idx = 0
         alt = base_pred
         provider_pred = base_pred
         for t in range(self.num_tables - 1, -1, -1):
-            idx = self._index(pc, t)
-            entry = self._tables[t][idx]
-            if entry is not None and entry.tag == self._tag(pc, t):
+            idx = (pc_idx ^ idx_fold[t].value) & idx_mask
+            entry = tables[t][idx]
+            if entry is not None and entry.tag == (
+                    pc ^ tag_fold1[t].value
+                    ^ (tag_fold2[t].value << 1)) & tag_mask:
                 if provider is None:
                     provider = t
                     provider_idx = idx
@@ -145,19 +170,26 @@ class TAGEPredictor:
         if predicted != taken:
             self.mispredicts += 1
         provider = self._provider
-        # provider / base counter update
+        # provider / base counter update (inlined _sat_update)
         if provider is not None:
             entry = self._tables[provider][self._provider_idx]
             if entry is not None:
-                entry.ctr = _sat_update(entry.ctr, taken, lo=-4, hi=3)
+                ctr = entry.ctr
+                if taken:
+                    entry.ctr = ctr + 1 if ctr < 3 else 3
+                else:
+                    entry.ctr = ctr - 1 if ctr > -4 else -4
                 if self._provider_pred != self._alt_pred:
                     if self._provider_pred == taken:
                         entry.useful = min(entry.useful + 1, 3)
                     else:
                         entry.useful = max(entry.useful - 1, 0)
         else:
-            self._base[self._base_idx] = _sat_update(
-                self._base[self._base_idx], taken, lo=-2, hi=1)
+            ctr = self._base[self._base_idx]
+            if taken:
+                self._base[self._base_idx] = ctr + 1 if ctr < 1 else 1
+            else:
+                self._base[self._base_idx] = ctr - 1 if ctr > -2 else -2
 
         # allocation on mispredict in a longer-history table
         if predicted != taken:
@@ -201,17 +233,17 @@ class TAGEPredictor:
 
     def _shift_history(self, taken: bool) -> None:
         bit = 1 if taken else 0
-        self._ghist.append(bit)
-        for t in range(self.num_tables):
-            h = self.hist_lens[t]
-            old = self._ghist[-1 - h]
-            self._idx_fold[t].update(bit, old)
-            self._tag_fold1[t].update(bit, old)
-            self._tag_fold2[t].update(bit, old)
+        ghist = self._ghist
+        ghist.append(bit)
+        glen = len(ghist)
+        # inlined FoldedHistory.update per row (hot: 3 folds x num_tables)
+        for h, f in self._fold_rows:
+            value = ((f.value << 1) | bit) ^ (ghist[glen - 1 - h] << f._out_pos)
+            value ^= value >> f.bits
+            f.value = value & f.mask
         # bound the history buffer
-        max_h = max(self.hist_lens)
-        if len(self._ghist) > 4 * max_h:
-            del self._ghist[: len(self._ghist) - (max_h + 1)]
+        if glen > self._ghist_cap:
+            del ghist[: glen - self._ghist_keep]
 
     # -- reporting ----------------------------------------------------------
     @property

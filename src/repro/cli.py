@@ -6,6 +6,8 @@ Commands:
 * ``suite`` — run a benchmark x policy grid and print speedups;
 * ``figure`` — regenerate one paper figure/table by id (fig01..fig16,
   tab01/tab04/tab05) or ``all``;
+* ``bench`` — time representative simulation cells and write
+  ``BENCH_runner.json`` (see :mod:`repro.bench`);
 * ``manifest`` — print the summary of a suite run's JSON manifest;
 * ``workload`` — characterize a benchmark's instruction stream;
 * ``trace`` — record a workload trace to a file, or replay one;
@@ -71,6 +73,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
     p_fig.add_argument("figure", choices=sorted(FIGURES) + ["all"])
     _jobs_arg(p_fig)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the simulation core and write BENCH_runner.json")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small cell subset (CI smoke)")
+    p_bench.add_argument("--cells", default=None,
+                         help="comma-separated cell names (see repro.bench)")
+    p_bench.add_argument("--repeats", type=int, default=2,
+                         help="timing repeats per cell (best wall kept)")
+    p_bench.add_argument("--out", default=None,
+                         help="output JSON (default: BENCH_runner.json)")
+    p_bench.add_argument("--baseline", default=None,
+                         help="recorded baseline JSON to compare against "
+                              "(default: benchmarks/bench_baseline.json)")
+    p_bench.add_argument("--record-baseline", default=None, metavar="PATH",
+                         help="record current scores as the baseline at PATH "
+                              "and exit")
+    p_bench.add_argument("--check", action="store_true",
+                         help="exit 1 if a cell's normalized score regresses "
+                              "beyond --tolerance vs the baseline")
+    p_bench.add_argument("--tolerance", type=float, default=None,
+                         help="allowed normalized regression (default 0.20)")
 
     p_man = sub.add_parser("manifest", help="summarize a suite run manifest")
     p_man.add_argument("path", nargs="?", default=None,
@@ -179,6 +203,19 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: time the simulation core (see :mod:`repro.bench`)."""
+    from repro import bench
+
+    if args.out is None:
+        args.out = bench.DEFAULT_OUT
+    if args.baseline is None:
+        args.baseline = bench.DEFAULT_BASELINE
+    if args.tolerance is None:
+        args.tolerance = bench.DEFAULT_TOLERANCE
+    return bench.main(args)
+
+
 def cmd_manifest(args: argparse.Namespace) -> int:
     """``repro manifest``: summarize a suite run's JSON manifest."""
     from pathlib import Path
@@ -263,6 +300,7 @@ COMMANDS = {
     "run": cmd_run,
     "suite": cmd_suite,
     "figure": cmd_figure,
+    "bench": cmd_bench,
     "manifest": cmd_manifest,
     "workload": cmd_workload,
     "trace": cmd_trace,

@@ -63,6 +63,8 @@ class PDIPController(Prefetcher):
                                targets_per_entry=self.config.targets_per_entry,
                                mask_bits=self.config.mask_bits)
         self._rng = derive_rng(seed, "pdip")
+        #: hot-path copy (the config is fixed after construction)
+        self._use_path = self.config.use_path_info
 
         self._path_history: list = []  # last branch block lines (FTQ order)
         self.candidate_events = 0
@@ -82,15 +84,17 @@ class PDIPController(Prefetcher):
         entry spanning a line boundary indexes with each of its lines so a
         trigger stored via the branch's block address is still found.
         """
-        path = self._current_path() if self.config.use_path_info else None
+        path = self._current_path() if self._use_path else None
+        lookup = self.table.lookup
+        request = self.pq.request
         for line in entry.lines:
-            for target, ttype in self.table.lookup(line, path=path):
+            for target, ttype in lookup(line, path=path):
                 self.prefetch_requests += 1
                 if ttype == "last_taken":
                     self.triggers_last_taken += 1
                 else:
                     self.triggers_mispredict += 1
-                self.pq.request(target)
+                request(target)
 
     # ------------------------------------------------------------------
     # retire-side: candidate insertion

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.utils import SLOTTED
+
 #: the paper evaluates every configuration at 512 sets
 PDIP_TABLE_SETS = 512
 
@@ -33,8 +35,12 @@ MASK_BITS = 4
 #: targets per entry ("95% of targets are stored with 2 targets per entry")
 TARGETS_PER_ENTRY = 2
 
+#: shared miss result for :meth:`PDIPTable.lookup` — most lookups miss,
+#: so they all return this one list; callers must treat it as read-only
+_EMPTY: List["tuple[int, str]"] = []
 
-@dataclass
+
+@dataclass(**SLOTTED)
 class PDIPTarget:
     """A prefetch target: base FEC line + mask of following blocks."""
 
@@ -53,7 +59,7 @@ class PDIPTarget:
         return lines
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class PDIPEntry:
     """One way: trigger tag plus up to two masked targets."""
 
@@ -143,23 +149,30 @@ class PDIPTable:
         issued-prefetch distribution.
         """
         self.lookups += 1
-        set_idx, tag = self._index(trigger_line)
-        ways = self._sets.get(set_idx)
+        num_sets = self.num_sets
+        ways = self._sets.get(trigger_line % num_sets)
         if not ways:
-            return []
-        entry = ways.get(tag)
+            return _EMPTY
+        entry = ways.get((trigger_line // num_sets) & ((1 << TAG_BITS) - 1))
         if entry is None:
-            return []
+            return _EMPTY
         if (path is not None and entry.path is not None
                 and entry.path != path):
-            return []  # path-augmented variant: TAG matched, path did not
+            return _EMPTY  # path-augmented variant: TAG matched, path did not
         self._clock += 1
         entry.lru = self._clock
         self.hits += 1
         out: List["tuple[int, str]"] = []
+        append = out.append
         for tgt in entry.targets:
-            for line in tgt.expand():
-                out.append((line, tgt.trigger_type))
+            base = tgt.line
+            ttype = tgt.trigger_type
+            append((base, ttype))
+            mask = tgt.mask
+            if mask:
+                for k in range(MASK_BITS):
+                    if mask & (1 << k):
+                        append((base + k + 1, ttype))
         return out
 
     # -- reporting ----------------------------------------------------------

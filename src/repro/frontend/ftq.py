@@ -11,48 +11,77 @@ parked at the head.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from repro.branch.bpu import MispredictKind
 from repro.workloads.layout import BasicBlock
 
 
-@dataclass
 class FTQEntry:
-    """One basic block queued for fetch."""
+    """One basic block queued for fetch.
 
-    block: BasicBlock
-    lines: List[int]
-    enqueue_cycle: int
-    is_wrong_path: bool = False
-    #: actual control-flow outcome (meaningless on the wrong path)
-    taken: bool = False
-    target_addr: int = 0
-    #: resteer verdict the BPU issued for this block
-    mispredict: MispredictKind = MispredictKind.NONE
-    #: wrong-path start address when mispredicted
-    predicted_target: Optional[int] = None
-    #: the resteer this entry was enqueued behind: kind, trigger block
-    #: line, and how many entries were enqueued since it (the "wake"
-    #: distance). Recorded at enqueue — by retirement several newer
-    #: resteers may have happened.
-    resteer_kind: Optional[MispredictKind] = None
-    resteer_trigger_line: Optional[int] = None
-    entries_since_resteer: int = 1 << 30
-    #: per-line fill readiness recorded at FDIP-prefetch (enqueue) time
-    line_ready: Dict[int, int] = field(default_factory=dict)
-    #: lines whose FDIP fill could not start (MSHRs exhausted); the IFU
-    #: issues them as demand accesses when the entry reaches the head
-    deferred_lines: List[int] = field(default_factory=list)
-    #: lines that newly missed the L1-I when this entry was enqueued
-    missed_lines: List[int] = field(default_factory=list)
-    #: lines whose fill was still pending when the FDIP stream touched them
-    pending_lines: List[int] = field(default_factory=list)
-    #: decode-starvation cycles charged to this entry while at the head
-    starvation_cycles: int = 0
-    #: True if the back end drained (issue queue empty) during that wait
-    backend_starved: bool = False
+    A plain ``__slots__`` class with a hand-written ``__init__`` rather
+    than a dataclass: the machine allocates one per enqueued block
+    (including every wrong-path block), which makes construction one of
+    the hottest allocation sites in the simulator.
+    """
+
+    __slots__ = (
+        "block", "lines", "enqueue_cycle", "is_wrong_path", "taken",
+        "target_addr", "mispredict", "predicted_target", "resteer_kind",
+        "resteer_trigger_line", "entries_since_resteer", "line_ready",
+        "deferred_lines", "missed_lines", "pending_lines",
+        "starvation_cycles", "backend_starved", "ready_at",
+    )
+
+    def __init__(self, block: BasicBlock, lines: List[int],
+                 enqueue_cycle: int, is_wrong_path: bool = False,
+                 taken: bool = False, target_addr: int = 0,
+                 mispredict: MispredictKind = MispredictKind.NONE,
+                 predicted_target: Optional[int] = None,
+                 resteer_kind: Optional[MispredictKind] = None,
+                 resteer_trigger_line: Optional[int] = None,
+                 entries_since_resteer: int = 1 << 30,
+                 starvation_cycles: int = 0,
+                 backend_starved: bool = False):
+        self.block = block
+        self.lines = lines
+        self.enqueue_cycle = enqueue_cycle
+        self.is_wrong_path = is_wrong_path
+        #: actual control-flow outcome (meaningless on the wrong path)
+        self.taken = taken
+        self.target_addr = target_addr
+        #: resteer verdict the BPU issued for this block
+        self.mispredict = mispredict
+        #: wrong-path start address when mispredicted
+        self.predicted_target = predicted_target
+        #: the resteer this entry was enqueued behind: kind, trigger
+        #: block line, and how many entries were enqueued since it (the
+        #: "wake" distance). Recorded at enqueue — by retirement several
+        #: newer resteers may have happened.
+        self.resteer_kind = resteer_kind
+        self.resteer_trigger_line = resteer_trigger_line
+        self.entries_since_resteer = entries_since_resteer
+        #: per-line fill readiness recorded at FDIP-prefetch (enqueue) time
+        self.line_ready: Dict[int, int] = {}
+        #: lines whose FDIP fill could not start (MSHRs exhausted); the
+        #: IFU issues them as demand accesses when the entry reaches the
+        #: head
+        self.deferred_lines: List[int] = []
+        #: lines that newly missed the L1-I when this entry was enqueued
+        self.missed_lines: List[int] = []
+        #: lines whose fill was still pending when the FDIP stream
+        #: touched them
+        self.pending_lines: List[int] = []
+        #: decode-starvation cycles charged to this entry while at the head
+        self.starvation_cycles = starvation_cycles
+        #: True if the back end drained (issue queue empty) during that wait
+        self.backend_starved = backend_starved
+        #: running max of ``line_ready`` maintained by the machine's
+        #: FDIP/deferred-fill paths so decode and the event-horizon scan
+        #: read one int instead of recomputing ``max(line_ready.values())``
+        #: every cycle. Only meaningful for machine-built entries.
+        self.ready_at = enqueue_cycle
 
     @property
     def ready_cycle(self) -> int:
@@ -73,6 +102,8 @@ class FTQEntry:
 
 class FTQ:
     """Bounded FIFO of :class:`FTQEntry` (default depth 24, like Table 1)."""
+
+    __slots__ = ("depth", "_q", "enqueues", "flushes", "flushed_entries")
 
     def __init__(self, depth: int = 24):
         if depth <= 0:

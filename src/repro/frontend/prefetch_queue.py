@@ -16,7 +16,16 @@ from repro.memory.hierarchy import MemoryHierarchy
 
 
 class PrefetchQueue:
-    """Bounded FIFO of prefetch line addresses (Table 1: 40 entries)."""
+    """Bounded FIFO of prefetch line addresses (Table 1: 40 entries).
+
+    Requests are stored as bare line numbers (the cheapest possible
+    "request record" — no per-request object allocation on the hot
+    path) with a mirror set for O(1) duplicate filtering.
+    """
+
+    __slots__ = ("hierarchy", "capacity", "issue_width", "mshr_reserve",
+                 "_q", "_queued", "requests", "dropped_full", "issued",
+                 "filtered_resident")
 
     def __init__(self, hierarchy: MemoryHierarchy, capacity: int = 40,
                  issue_width: int = 2, mshr_reserve: int = 2):
@@ -48,15 +57,22 @@ class PrefetchQueue:
 
     def tick(self, cycle: int) -> int:
         """Service up to ``issue_width`` queued prefetches; returns count issued."""
+        q = self._q
+        if not q:
+            return 0
         issued = 0
-        for _ in range(min(self.issue_width, len(self._q))):
-            line = self._q.popleft()
-            self._queued.discard(line)
-            if self.hierarchy.l1i.probe(line):
+        queued = self._queued
+        hierarchy = self.hierarchy
+        probe = hierarchy.l1i.probe
+        prefetch = hierarchy.prefetch_instruction
+        reserve = self.mshr_reserve
+        for _ in range(min(self.issue_width, len(q))):
+            line = q.popleft()
+            queued.discard(line)
+            if probe(line):
                 self.filtered_resident += 1
                 continue
-            if self.hierarchy.prefetch_instruction(line, cycle,
-                                                   mshr_reserve=self.mshr_reserve):
+            if prefetch(line, cycle, mshr_reserve=reserve):
                 issued += 1
                 self.issued += 1
         return issued

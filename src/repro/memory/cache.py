@@ -6,17 +6,26 @@ trace-simulator simplification of a two-phase MSHR): a line can be
 outstanding fill instead of creating a new miss. The MSHR occupancy at a
 cycle is the number of pending fills, which is what the prefetch queue
 checks before injecting prefetches (the paper's demand-priority rule).
+
+Hot-path layout: residency is mirrored in a flat ``{line: state}`` dict
+so ``probe``/``get_state``/``lookup`` are one hash probe instead of a
+set-index/tag two-step, and outstanding fills are tracked in a min-heap
+keyed by completion cycle so ``mshr_inflight`` retires finished fills in
+O(log n) pops instead of scanning every pending line. The per-set dicts
+remain the source of truth for victim selection and set occupancy.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.memory.replacement import LRUPolicy, ReplacementPolicy
+from repro.utils import SLOTTED
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class CacheLineState:
     """Per-line metadata."""
 
@@ -31,7 +40,7 @@ class CacheLineState:
     unused_prefetch: bool = False
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class AccessResult:
     """Outcome of a cache access."""
 
@@ -44,6 +53,10 @@ class AccessResult:
 
 class Cache:
     """One cache level. Addresses are *line numbers* (byte addr >> 6)."""
+
+    __slots__ = ("name", "size_kb", "assoc", "num_sets", "mshrs", "policy",
+                 "_sets", "_lines", "_pending", "_fill_heap", "_clock",
+                 "accesses", "misses", "evictions")
 
     def __init__(self, name: str, size_kb: int, assoc: int,
                  line_size: int = 64, mshrs: int = 16,
@@ -59,7 +72,12 @@ class Cache:
         self.mshrs = mshrs
         self.policy = policy if policy is not None else LRUPolicy()
         self._sets: Dict[int, Dict[int, CacheLineState]] = {}
+        #: flat residency mirror of ``_sets`` for O(1) line queries
+        self._lines: Dict[int, CacheLineState] = {}
         self._pending: Dict[int, int] = {}  # line -> ready_cycle
+        #: (ready_cycle, line) min-heap over ``_pending``; entries whose
+        #: line was evicted/refilled are stale and skipped lazily
+        self._fill_heap: List[Tuple[int, int]] = []
         self._clock = 0
 
         self.accesses = 0
@@ -76,24 +94,25 @@ class Cache:
     # -- queries ---------------------------------------------------------------
     def probe(self, line: int) -> bool:
         """Presence check with no side effects (used by the PQ filter)."""
-        ways = self._sets.get(self._set_index(line))
-        return bool(ways) and self._tag(line) in ways
+        return line in self._lines
 
     def get_state(self, line: int) -> Optional[CacheLineState]:
         """Line state without LRU side effects (None if absent)."""
-        ways = self._sets.get(self._set_index(line))
-        if not ways:
-            return None
-        return ways.get(self._tag(line))
+        return self._lines.get(line)
 
     def mshr_inflight(self, cycle: int) -> int:
         """Number of fills still outstanding at ``cycle``."""
-        if not self._pending:
+        pending = self._pending
+        if not pending:
             return 0
-        done = [ln for ln, ready in self._pending.items() if ready <= cycle]
-        for ln in done:
-            del self._pending[ln]
-        return len(self._pending)
+        heap = self._fill_heap
+        while heap and heap[0][0] <= cycle:
+            ready, line = heapq.heappop(heap)
+            # stale heap entries (evicted/invalidated/refilled lines)
+            # no longer match the live pending record; skip them
+            if pending.get(line) == ready:
+                del pending[line]
+        return len(pending)
 
     def mshr_free(self, cycle: int) -> int:
         """MSHRs available at this cycle."""
@@ -103,7 +122,7 @@ class Cache:
     def lookup(self, line: int, cycle: int) -> Optional[CacheLineState]:
         """LRU-updating lookup; returns the state (possibly pending) or None."""
         self.accesses += 1
-        state = self.get_state(line)
+        state = self._lines.get(line)
         if state is None:
             self.misses += 1
             return None
@@ -117,8 +136,9 @@ class Cache:
 
         The caller is responsible for having checked MSHR capacity.
         """
-        set_idx = self._set_index(line)
-        tag = self._tag(line)
+        num_sets = self.num_sets
+        set_idx = line % num_sets
+        tag = line // num_sets
         ways = self._sets.setdefault(set_idx, {})
         self._clock += 1
         evicted_line = None
@@ -126,7 +146,8 @@ class Cache:
         if tag not in ways and len(ways) >= self.assoc:
             victim_tag = self.policy.victim(ways)
             evicted_state = ways.pop(victim_tag)
-            evicted_line = victim_tag * self.num_sets + set_idx
+            evicted_line = victim_tag * num_sets + set_idx
+            del self._lines[evicted_line]
             self._pending.pop(evicted_line, None)
             self.evictions += 1
         state = CacheLineState(
@@ -135,22 +156,25 @@ class Cache:
             unused_prefetch=(source == "prefetch"),
         )
         ways[tag] = state
+        self._lines[line] = state
         self._pending[line] = ready_cycle
+        heapq.heappush(self._fill_heap, (ready_cycle, line))
         return AccessResult(hit=False, ready_cycle=ready_cycle,
                             evicted_line=evicted_line,
                             evicted_state=evicted_state)
 
     def invalidate(self, line: int) -> None:
         """Drop a line (and its pending fill) if present."""
-        ways = self._sets.get(self._set_index(line))
-        if ways:
-            ways.pop(self._tag(line), None)
+        if self._lines.pop(line, None) is not None:
+            ways = self._sets.get(self._set_index(line))
+            if ways:
+                ways.pop(self._tag(line), None)
         self._pending.pop(line, None)
 
     # -- occupancy helpers -------------------------------------------------
     def resident_lines(self) -> int:
         """Total lines currently allocated."""
-        return sum(len(ways) for ways in self._sets.values())
+        return len(self._lines)
 
     def set_occupancy(self, line: int) -> Dict[int, CacheLineState]:
         """The ways of the set containing ``line`` (for policy inspection)."""

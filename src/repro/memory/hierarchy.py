@@ -28,6 +28,7 @@ from typing import Optional, Set
 from repro.memory.cache import AccessResult, Cache, CacheLineState
 from repro.memory.replacement import EmissaryPolicy, LRUPolicy, ReplacementPolicy
 from repro.memory.tlb import InstructionTLB
+from repro.utils import SLOTTED
 
 
 @dataclass
@@ -69,7 +70,7 @@ class HierarchyConfig:
         return cls(l1i_size_kb=32, l2_size_kb=1024, l3_size_kb=2048)
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class InstructionFetchResult:
     """Outcome of an instruction-stream access."""
 
@@ -105,6 +106,12 @@ class MemoryHierarchy:
                                     assoc=cfg.itlb_assoc,
                                     miss_latency=cfg.itlb_miss_latency)
                      if cfg.itlb_enabled else None)
+        # hot-path copies of the per-level latencies (an attribute load
+        # instead of a config-object chase on every access)
+        self._l1_hit = cfg.l1_hit_latency
+        self._l2_hit = cfg.l2_hit_latency
+        self._l3_hit = cfg.l3_hit_latency
+        self._mem_lat = cfg.memory_latency
         self.fec_ideal = fec_ideal
         self.zero_cost_prefetch = zero_cost_prefetch
         #: lines ever qualified as front-end critical (shared by the
@@ -131,13 +138,36 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # instruction stream
     # ------------------------------------------------------------------
+    def fetch_ready_hit(self, line: int, cycle: int) -> Optional[int]:
+        """Fast path for the overwhelmingly common fetch outcome: ``line``
+        is resident, its fill has completed, and no prefetch bookkeeping
+        applies. Returns the ready cycle, or None when the caller must
+        take the full :meth:`fetch_instruction` path (miss, pending fill,
+        first touch of a prefetched line, or iTLB enabled).
+
+        Counter effects are exactly the L1-hit slice of
+        :meth:`fetch_instruction` — demand-access count, cache access/LRU
+        — so interleaving the two paths keeps every statistic identical.
+        """
+        if self.itlb is not None:
+            return None
+        l1i = self.l1i
+        state = l1i._lines.get(line)
+        if state is None or state.ready_cycle > cycle or state.unused_prefetch:
+            return None
+        self.l1i_demand_accesses += 1
+        l1i.accesses += 1
+        clock = l1i._clock + 1
+        l1i._clock = clock
+        state.lru = clock
+        return cycle + self._l1_hit
+
     def fetch_instruction(self, line: int, cycle: int) -> InstructionFetchResult:
         """Demand-stream access (FTQ enqueue / IFU fetch) to ``line``.
 
         Counts toward L1-I MPKI. May stall when no MSHR is available
         (``stalled_mshr=True``; the caller retries next cycle).
         """
-        cfg = self.config
         self.l1i_demand_accesses += 1
         # optional iTLB: a page walk delays the whole access
         walk = self.itlb.translate(line) if self.itlb is not None else 0
@@ -145,9 +175,7 @@ class MemoryHierarchy:
         if state is not None:
             if state.ready_cycle <= cycle:
                 result = InstructionFetchResult(
-                    ready_cycle=cycle + cfg.l1_hit_latency + walk,
-                    l1_hit=True, l1_miss=False, pending_hit=False,
-                    served_by="l1")
+                    cycle + self._l1_hit + walk, True, False, False, "l1")
                 if state.unused_prefetch:
                     state.unused_prefetch = False
                     self.prefetch_useful += 1
@@ -161,30 +189,27 @@ class MemoryHierarchy:
                 self.prefetch_late += 1
                 state.unused_prefetch = False
             return InstructionFetchResult(
-                ready_cycle=state.ready_cycle + walk,
-                l1_hit=False, l1_miss=False, pending_hit=True,
-                served_by="pending", late_prefetch=late)
+                state.ready_cycle + walk, False, False, True, "pending",
+                late)
 
         # true L1-I miss
         if self.l1i.mshr_free(cycle) <= 0:
             self.l1i_demand_accesses -= 1  # retried access; don't double count
             return InstructionFetchResult(
-                ready_cycle=cycle + 1, l1_hit=False, l1_miss=False,
-                pending_hit=False, served_by="stall", stalled_mshr=True)
+                cycle + 1, False, False, False, "stall",
+                stalled_mshr=True)
         self.l1i_demand_misses += 1
         if self.fec_ideal and line in self.fec_lines:
-            ready = cycle + cfg.l1_hit_latency + walk
+            ready = cycle + self._l1_hit + walk
             self._fill_l1(line, ready, source="fetch")
             return InstructionFetchResult(
-                ready_cycle=ready, l1_hit=False, l1_miss=True,
-                pending_hit=False, served_by="fec_ideal")
+                ready, False, True, False, "fec_ideal")
         latency, served_by = self._inner_latency(line, cycle,
                                                  is_instruction=True)
-        ready = cycle + cfg.l1_hit_latency + latency + walk
+        ready = cycle + self._l1_hit + latency + walk
         self._fill_l1(line, ready, source="fetch")
         return InstructionFetchResult(
-            ready_cycle=ready, l1_hit=False, l1_miss=True,
-            pending_hit=False, served_by=served_by)
+            ready, False, True, False, served_by)
 
     def prefetch_instruction(self, line: int, cycle: int,
                              mshr_reserve: int = 2) -> bool:
@@ -201,12 +226,11 @@ class MemoryHierarchy:
             return False
         self.prefetches_issued += 1
         self.prefetched_lines.add(line)
-        cfg = self.config
         if self.zero_cost_prefetch:
             self._fill_l1(line, cycle, source="prefetch")
             return True
         latency, _ = self._inner_latency(line, cycle, is_instruction=True)
-        ready = cycle + cfg.l1_hit_latency + latency
+        ready = cycle + self._l1_hit + latency
         self._fill_l1(line, ready, source="prefetch")
         return True
 
@@ -220,14 +244,21 @@ class MemoryHierarchy:
         collide with instruction line numbers. Returns
         ``(ready_cycle, l2_hit)``.
         """
-        cfg = self.config
         self.l2_data_accesses += 1
-        state = self.l2.lookup(line, cycle)
+        # inlined l2.lookup hit path (the common case for the Zipf head)
+        l2 = self.l2
+        l2.accesses += 1
+        state = l2._lines.get(line)
         if state is not None:
-            return max(cycle, state.ready_cycle) + cfg.l2_hit_latency, True
+            clock = l2._clock + 1
+            l2._clock = clock
+            state.lru = clock
+            ready = state.ready_cycle
+            return (ready if ready > cycle else cycle) + self._l2_hit, True
+        l2.misses += 1
         self.l2_data_misses += 1
         latency = self._l3_latency(line, cycle)
-        ready = cycle + cfg.l2_hit_latency + latency
+        ready = cycle + self._l2_hit + latency
         self.l2.fill(line, ready, is_instruction=False)
         return ready, False
 
@@ -259,28 +290,27 @@ class MemoryHierarchy:
     def _inner_latency(self, line: int, cycle: int,
                        is_instruction: bool) -> "tuple[int, str]":
         """Latency beyond the L1 for ``line``, filling L2/L3 on the way."""
-        cfg = self.config
+        l2_hit = self._l2_hit
         if is_instruction:
             self.l2_inst_accesses += 1
         state = self.l2.lookup(line, cycle)
         if state is not None:
             extra = max(0, state.ready_cycle - cycle)
-            return cfg.l2_hit_latency + extra, "l2"
+            return l2_hit + extra, "l2"
         if is_instruction:
             self.l2_inst_misses += 1
         latency = self._l3_latency(line, cycle)
-        ready = cycle + cfg.l2_hit_latency + latency
+        ready = cycle + l2_hit + latency
         self.l2.fill(line, ready, is_instruction=is_instruction)
-        return cfg.l2_hit_latency + latency, "l3+"
+        return l2_hit + latency, "l3+"
 
     def _l3_latency(self, line: int, cycle: int) -> int:
-        cfg = self.config
         self.l3_accesses += 1
         state = self.l3.lookup(line, cycle)
         if state is not None:
             extra = max(0, state.ready_cycle - cycle)
-            return cfg.l3_hit_latency + extra
+            return self._l3_hit + extra
         self.l3_misses += 1
-        ready = cycle + cfg.l3_hit_latency + cfg.memory_latency
-        self.l3.fill(line, ready)
-        return cfg.l3_hit_latency + cfg.memory_latency
+        miss_latency = self._l3_hit + self._mem_lat
+        self.l3.fill(line, cycle + miss_latency)
+        return miss_latency

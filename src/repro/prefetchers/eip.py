@@ -33,6 +33,9 @@ _TAG_BITS = 10
 _DST_BITS = 34
 _LRU_BITS = 1
 
+#: shared miss result for the hot lookup path — treat as read-only
+_EMPTY: List[int] = []
+
 
 @dataclass
 class EIPConfig:
@@ -64,6 +67,9 @@ class EIPPrefetcher(Prefetcher):
         self.pq = pq
         self.config = config if config is not None else EIPConfig()
         cfg = self.config
+        # hot-path copies (the config is fixed after construction)
+        self._analytical = cfg.analytical
+        self._num_sets = cfg.num_sets
         if cfg.analytical:
             self.name = "eip_analytical"
             self.assoc = 0
@@ -87,10 +93,12 @@ class EIPPrefetcher(Prefetcher):
     # ------------------------------------------------------------------
     def on_ftq_enqueue(self, entry: FTQEntry, cycle: int) -> None:
         """A new fetch target entered the FTQ."""
+        lookup = self._lookup
+        request = self.pq.request
         for line in entry.lines:
-            for dst in self._lookup(line):
+            for dst in lookup(line):
                 self.prefetch_requests += 1
-                self.pq.request(dst)
+                request(dst)
 
     # ------------------------------------------------------------------
     # commit-side: history + entangling
@@ -156,25 +164,30 @@ class EIPPrefetcher(Prefetcher):
         entry.dsts.append(dst)
 
     def _lookup(self, src: int) -> List[int]:
+        """Destinations entangled with ``src``.
+
+        The returned list is the table's own storage (or the shared empty
+        list) — callers only iterate it.
+        """
         self.lookups += 1
-        cfg = self.config
-        if cfg.analytical:
-            dsts = self._table_unbounded.get(src, [])
+        if self._analytical:
+            dsts = self._table_unbounded.get(src)
+            if dsts is None:
+                return _EMPTY
             if dsts:
                 self.lookup_hits += 1
-            return list(dsts)
-        set_idx = src % cfg.num_sets
-        tag = src // cfg.num_sets
-        ways = self._sets.get(set_idx)
+            return dsts
+        num_sets = self._num_sets
+        ways = self._sets.get(src % num_sets)
         if not ways:
-            return []
-        entry = ways.get(tag)
+            return _EMPTY
+        entry = ways.get(src // num_sets)
         if entry is None:
-            return []
+            return _EMPTY
         self._clock += 1
         entry.lru = self._clock
         self.lookup_hits += 1
-        return list(entry.dsts)
+        return entry.dsts
 
     # ------------------------------------------------------------------
     @property

@@ -49,20 +49,28 @@ class NextLinePrefetcher(Prefetcher):
     def on_ftq_enqueue(self, entry: FTQEntry, cycle: int) -> None:
         """A new fetch target entered the FTQ."""
         cfg = self.config
+        train = cfg.train
+        worth_entries = cfg.worth_entries
+        threshold = cfg.worth_threshold
+        degree = cfg.degree
+        worth = self._worth
+        worth_get = worth.get
+        request = self.pq.request
+        last = self._last_line
         for line in entry.lines:
-            if cfg.train and self._last_line is not None:
-                idx = self._worth_idx(self._last_line)
-                sequential = line == self._last_line + 1
-                ctr = self._worth.get(idx, 0)
-                if sequential:
-                    self._worth[idx] = min(ctr + 1, 3)
+            if train and last is not None:
+                idx = last % worth_entries  # inlined _worth_idx
+                ctr = worth_get(idx, 0)
+                if line == last + 1:
+                    worth[idx] = ctr + 1 if ctr < 3 else 3
                 else:
-                    self._worth[idx] = max(ctr - 1, -2)
-            self._last_line = line
-            if self._worth.get(self._worth_idx(line), 0) >= cfg.worth_threshold:
-                for delta in range(1, cfg.degree + 1):
+                    worth[idx] = ctr - 1 if ctr > -2 else -2
+            last = line
+            if worth_get(line % worth_entries, 0) >= threshold:
+                for delta in range(1, degree + 1):
                     self.prefetch_requests += 1
-                    self.pq.request(line + delta)
+                    request(line + delta)
+        self._last_line = last
 
     @property
     def storage_kb(self) -> float:

@@ -94,9 +94,7 @@ def store(key: str, stats: SimulationStats) -> None:
         return
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
-    data = {name: getattr(stats, name) for name in vars(stats)
-            if isinstance(getattr(stats, name), (int, float))}
-    data["extra"] = stats.extra
+    data = stats.to_dict()
     # pid-unique temp name: concurrent writers (parallel suite runs in
     # separate processes) must not clobber each other mid-write
     tmp = directory / ("%s.%d.tmp" % (key, os.getpid()))

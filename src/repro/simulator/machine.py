@@ -15,12 +15,27 @@ Per cycle, in order:
    resteer when a mispredicted block finally decodes.
 5. **Back end** — retire; at block retirement run FEC classification,
    EMISSARY promotion, prefetcher training, and the data-side stream.
+
+**Event-horizon fast path** (DESIGN.md §10): most cycles of a
+frontend-bound run do nothing observable — the FTQ head is waiting on a
+fill, the IAG is redirect-stalled, the PQ is empty, and the back end has
+nothing eligible to retire. :meth:`Machine.run` detects those cycles,
+computes the earliest cycle at which *any* stage can act (the horizon:
+resteer maturation, FTQ-head fill completion, back-end head
+eligibility/stall expiry, IAG redirect expiry) and advances the clock
+there in one step, batch-updating every cycle-proportional counter
+(starvation charging, top-down slots, back-end stall cycles) and
+consuming exactly the RNG draws the skipped per-cycle loop would have.
+Stats are bit-identical to per-cycle stepping; attaching a probe
+disables skipping (unless ``probe_coarse`` opts into one observation per
+jump).
 """
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import List, Optional
 
 from repro.backend.model import BackendModel
@@ -31,19 +46,29 @@ from repro.frontend.prefetch_queue import PrefetchQueue
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.prefetchers.base import NoPrefetcher, Prefetcher
 from repro.simulator.config import MachineConfig
-from repro.simulator.stats import SimulationStats
-from repro.utils import derive_rng, line_of
-from repro.workloads.layout import CodeLayout
+from repro.simulator.stats import COUNTER_FIELDS, SimulationStats
+from repro.utils import (INSTRUCTION_SIZE, LINE_SHIFT, SLOTTED, derive_rng,
+                         line_of)
+from repro.workloads.layout import BranchKind, CodeLayout
 from repro.workloads.profiles import WorkloadProfile
-from repro.workloads.walker import PathWalker, SpeculativePath
+from repro.workloads.walker import (PathWalker, SpeculativePath,
+                                    static_majority_successor)
 
 #: data lines live in a disjoint address space from instruction lines
 DATA_LINE_BASE = 1 << 40
 
+#: hot-path copy for the inlined ``block.is_branch`` test
+_FALLTHROUGH = BranchKind.FALLTHROUGH
 
-@dataclass
+
+@dataclass(**SLOTTED)
 class _Resteer:
-    """A mispredict discovered by the IAG, waiting to resolve."""
+    """A mispredict discovered by the IAG, waiting to resolve.
+
+    The machine keeps **one** instance and recycles it (at most one
+    resteer is outstanding at a time), so scheduling a mispredict costs
+    a few attribute stores instead of an allocation.
+    """
 
     kind: MispredictKind
     trigger_line: int
@@ -72,6 +97,12 @@ class Machine:
             self.hierarchy, capacity=cfg.pq_capacity,
             issue_width=cfg.pq_issue_width, mshr_reserve=cfg.pq_mshr_reserve)
         self.prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
+        # skip the per-taken-branch observe_branch call entirely for
+        # prefetchers that inherit the base no-op (everything but PDIP)
+        self._observe_branch = (
+            self.prefetcher.observe_branch
+            if type(self.prefetcher).observe_branch
+            is not Prefetcher.observe_branch else None)
         self.bpu = bpu if bpu is not None else BranchPredictionUnit(
             btb_entries=cfg.btb_entries, btb_assoc=cfg.btb_assoc,
             ras_depth=cfg.ras_depth, seed=seed)
@@ -87,20 +118,28 @@ class Machine:
         self.fec = FECClassifier(wake_window=cfg.fec_wake_window,
                                  high_cost_threshold=cfg.fec_high_cost_threshold)
 
+        # hot-path copies of per-cycle config knobs
+        self._decode_width = cfg.decode_width
+        self._iag_blocks = cfg.iag_blocks_per_cycle
+        self._redirect_penalty = cfg.redirect_penalty
+        self._predecode_lat = cfg.predecode_resteer_latency
+        self._exec_lat = cfg.exec_resteer_latency
+        self._data_expose_prob = cfg.data_miss_expose_prob
+        self._data_expose_frac = cfg.data_miss_exposed_fraction
+
         # data-side sampler (Zipf over the profile's data working set)
         self._data_rng = derive_rng(seed, "datastream")
         n = profile.data_lines
         weights = [1.0 / ((i + 1) ** profile.data_zipf_alpha) for i in range(n)]
         total = sum(weights)
-        acc = 0.0
-        self._data_cum: List[float] = []
-        for w in weights:
-            acc += w / total
-            self._data_cum.append(acc)
+        self._data_cum: List[float] = list(
+            accumulate(w / total for w in weights))
 
         # dynamic state
         self.cycle = 0
         self._pending_resteer: Optional[_Resteer] = None
+        #: the recycled resteer record (see :class:`_Resteer`)
+        self._resteer = _Resteer(kind=MispredictKind.NONE, trigger_line=0)
         self._wrong_path: Optional[SpeculativePath] = None
         self._iag_stall_until = 0
         self._entries_since_resteer = 1 << 30
@@ -113,6 +152,15 @@ class Machine:
         self._head_admitted = False
         #: optional per-cycle observer (see repro.simulator.probe)
         self.probe = None
+        #: event-horizon cycle skipping (DESIGN.md §10). On by default;
+        #: automatically bypassed while a probe is attached so observers
+        #: see every cycle. Set ``probe_coarse=True`` to keep skipping
+        #: with a probe attached — the probe then fires once per jump.
+        self.event_horizon = True
+        self.probe_coarse = False
+        #: diagnostics: cycles (and jumps) the fast path skipped
+        self.fast_forwarded_cycles = 0
+        self.fast_forwards = 0
 
     # ==================================================================
     # main loop
@@ -128,15 +176,50 @@ class Machine:
             400 * (warmup + instructions)
         snapshot = None
         measure_end = warmup + instructions  # refined once warmup completes
+        backend = self.backend
+        backend_tick = backend.tick
+        on_retire = self._on_retire
+        decode = self._decode
+        iag_fill = self._iag_fill
+        pq = self.pq
+        pq_tick = pq.tick
+        skippable = self._skippable
+        fast_forward = self._fast_forward
+        st = self.stats
         while True:
-            retired = self.backend.retired_instructions
+            retired = backend.retired_instructions
             if snapshot is None and retired >= warmup:
                 snapshot = self._snapshot()
                 measure_end = retired + instructions
             if snapshot is not None and retired >= measure_end:
                 break
-            self.step()
-            if self.cycle > limit:
+            if self.event_horizon and (self.probe is None or self.probe_coarse):
+                k = skippable()
+                if k > 0:
+                    cap = limit + 1 - self.cycle
+                    fast_forward(k if k < cap else cap)
+                    if self.cycle > limit:
+                        raise RuntimeError(
+                            "simulation exceeded %d cycles (deadlock?)"
+                            % limit)
+                    continue
+            # -- inlined step() (keep the two in lockstep) -----------------
+            cycle = self.cycle
+            pr = self._pending_resteer
+            if (pr is not None and pr.scheduled is not None
+                    and cycle >= pr.scheduled):
+                self._handle_resteer(cycle)
+            if cycle >= self._iag_stall_until:
+                iag_fill(cycle)
+            if pq._q:
+                pq_tick(cycle)
+            decode(cycle)
+            st.instructions += backend_tick(cycle, on_retire)
+            st.cycles += 1
+            if self.probe is not None:
+                self.probe(self)
+            self.cycle = cycle + 1
+            if cycle >= limit:
                 raise RuntimeError(
                     "simulation exceeded %d cycles (deadlock?)" % limit)
         return self._delta(snapshot)
@@ -144,16 +227,135 @@ class Machine:
     def step(self) -> None:
         """Advance one cycle."""
         cycle = self.cycle
-        self._handle_resteer(cycle)
-        self._iag_fill(cycle)
-        self.pq.tick(cycle)
+        pr = self._pending_resteer
+        if pr is not None and pr.scheduled is not None and cycle >= pr.scheduled:
+            self._handle_resteer(cycle)
+        if cycle >= self._iag_stall_until:
+            self._iag_fill(cycle)
+        pq = self.pq
+        if pq._q:
+            pq.tick(cycle)
         self._decode(cycle)
-        retired = self.backend.tick(cycle, on_retire_block=self._on_retire)
-        self.stats.instructions += retired
-        self.stats.cycles += 1
+        retired = self.backend.tick(cycle, self._on_retire)
+        st = self.stats
+        st.instructions += retired
+        st.cycles += 1
         if self.probe is not None:
             self.probe(self)
-        self.cycle += 1
+        self.cycle = cycle + 1
+
+    # ==================================================================
+    # event-horizon fast path
+    # ==================================================================
+    def _skippable(self) -> int:
+        """Cycles until anything observable can happen (0 = step normally).
+
+        A positive return means every stage is provably idle for that
+        many cycles: no matured resteer, the IAG is stalled or the FTQ
+        is full (or the wrong path dead-ended), the PQ is empty, the
+        FTQ head (if any) is waiting on a fill it has already issued,
+        and the back end has nothing eligible to retire. The horizon is
+        the earliest of: resteer maturation, IAG redirect expiry,
+        FTQ-head fill completion, and back-end head eligibility (decode
+        depth or injected-stall expiry).
+        """
+        cycle = self.cycle
+        horizon = None
+        pr = self._pending_resteer
+        if pr is not None:
+            sched = pr.scheduled
+            if sched is not None:
+                if sched <= cycle:
+                    return 0  # resteer acts this cycle
+                horizon = sched
+        stall_until = self._iag_stall_until
+        ftq = self.ftq
+        if cycle < stall_until:
+            if horizon is None or stall_until < horizon:
+                horizon = stall_until
+        elif len(ftq._q) >= ftq.depth:
+            pass  # full FTQ stays full while decode starves (checked below)
+        else:
+            wp = self._wrong_path
+            if wp is None or (wp.current is not None and wp.remaining > 0):
+                return 0  # IAG would enqueue a block this cycle
+        if self.pq._q:
+            return 0  # PQ drains up to issue_width lines per cycle
+        q = ftq._q
+        if q:
+            head = q[0]
+            if head.deferred_lines:
+                return 0  # IFU retries deferred fills every cycle
+            ready = head.ready_at  # running max over line_ready
+            if ready <= cycle:
+                return 0  # decode consumes the head this cycle
+            if horizon is None or ready < horizon:
+                horizon = ready
+        backend = self.backend
+        bq = backend._q
+        if bq:
+            blk = bq[0]
+            if not blk.is_wrong_path:
+                eligible = blk.decode_cycle + backend.depth
+                stall = backend._stall_until
+                if stall > eligible:
+                    eligible = stall
+                if eligible <= cycle:
+                    return 0  # back end may retire this cycle
+                if horizon is None or eligible < horizon:
+                    horizon = eligible
+            # a wrong-path head blocks retirement until the resteer
+            # squashes it, which the resteer bound already covers
+        if horizon is None:
+            return 0  # nothing scheduled — never skip blind
+        return horizon - cycle
+
+    def _fast_forward(self, k: int) -> None:
+        """Advance ``k`` provably-idle cycles in one arithmetic step.
+
+        Applies exactly what ``k`` calls of :meth:`step` would have:
+        top-down slots all charge frontend-bound (decode delivered
+        nothing and the back end was not the blocker), decode
+        starvation charges the waiting head, and the back end consumes
+        one stall-probability draw per cycle outside its injected-stall
+        window (stall-window cycles draw nothing — matching
+        ``BackendModel.tick``'s short-circuit — and count as stall
+        cycles unconditionally).
+        """
+        cycle = self.cycle
+        st = self.stats
+        slots = self._decode_width * k
+        st.slots_total += slots
+        st.slots_frontend_bound += slots
+        st.decode_starvation_cycles += k
+        backend = self.backend
+        q = self.ftq._q
+        if q:
+            head = q[0]
+            head.starvation_cycles += k
+            if backend.issue_queue_empty:
+                head.backend_starved = True
+        in_stall = backend._stall_until - cycle
+        if in_stall < 0:
+            in_stall = 0
+        elif in_stall > k:
+            in_stall = k
+        stalls = in_stall
+        draws = k - in_stall
+        if draws:
+            rng_random = backend._rng.random
+            p = backend.stall_prob
+            for _ in range(draws):
+                if rng_random() < p:
+                    stalls += 1
+        backend.stall_cycles += stalls
+        st.cycles += k
+        self.cycle = cycle + k
+        self.fast_forwarded_cycles += k
+        self.fast_forwards += 1
+        if self.probe is not None:
+            # probe_coarse mode: one observation covering the whole jump
+            self.probe(self)
 
     # ==================================================================
     # stage 1: resteer
@@ -167,7 +369,7 @@ class Machine:
         self._wrong_path = None
         self._decode_progress = 0
         self._head_admitted = False
-        self._iag_stall_until = cycle + self.config.redirect_penalty
+        self._iag_stall_until = cycle + self._redirect_penalty
         self._entries_since_resteer = 0
         self._last_resteer_kind = pr.kind
         self._last_resteer_trigger = pr.trigger_line
@@ -188,28 +390,39 @@ class Machine:
     def _iag_fill(self, cycle: int) -> None:
         if cycle < self._iag_stall_until:
             return
-        for _ in range(self.config.iag_blocks_per_cycle):
-            if self.ftq.full:
+        ftq = self.ftq
+        q = ftq._q
+        depth = ftq.depth
+        next_entry = self._next_entry
+        fdip_access = self._fdip_access
+        finish_enqueue = self._finish_enqueue
+        for _ in range(self._iag_blocks):
+            if len(q) >= depth:
                 return
-            entry = self._next_entry(cycle)
+            entry = next_entry(cycle)
             if entry is None:
                 return
-            self._fdip_access(entry, cycle)
-            self._finish_enqueue(entry, cycle)
+            fdip_access(entry, cycle)
+            finish_enqueue(entry, cycle)
 
     def _next_entry(self, cycle: int) -> Optional[FTQEntry]:
-        if self._wrong_path is not None:
-            block = self._wrong_path.step()
-            if block is None:
+        wp = self._wrong_path
+        if wp is not None:
+            # inlined SpeculativePath.step (one call per wrong-path block)
+            cur = wp.current
+            if cur is None or wp.remaining <= 0:
                 return None  # wrong path dead-ended; wait for the resteer
+            block = self.layout.blocks[cur]
+            wp.remaining -= 1
+            wp.current = static_majority_successor(self.layout, block,
+                                                   wp.stack)
             self.stats.wrong_path_blocks += 1
-            return FTQEntry(block=block, lines=block.lines(),
-                            enqueue_cycle=cycle, is_wrong_path=True)
+            return FTQEntry(block, block.lines(), cycle, True)
         event = self.walker.next_event()
-        entry = FTQEntry(block=event.block, lines=event.block.lines(),
-                         enqueue_cycle=cycle, taken=event.taken,
-                         target_addr=event.target_addr)
-        prediction = self.bpu.predict_block(event.block, event.taken,
+        block = event.block
+        entry = FTQEntry(block, block.lines(), cycle, False,
+                         event.taken, event.target_addr)
+        prediction = self.bpu.predict_block(block, event.taken,
                                             event.target_addr)
         entry.mispredict = prediction.mispredict
         entry.predicted_target = prediction.predicted_target
@@ -219,9 +432,11 @@ class Machine:
 
     def _start_wrong_path(self, entry: FTQEntry,
                           prediction: BlockPrediction) -> None:
-        trigger_line = line_of(entry.block.branch_pc)
-        self._pending_resteer = _Resteer(kind=prediction.mispredict,
-                                         trigger_line=trigger_line)
+        pr = self._resteer
+        pr.kind = prediction.mispredict
+        pr.trigger_line = line_of(entry.block.branch_pc)
+        pr.scheduled = None
+        self._pending_resteer = pr
         start_bid = None
         if prediction.predicted_target is not None:
             start_bid = self.layout.entry_index().get(prediction.predicted_target)
@@ -237,71 +452,145 @@ class Machine:
         the IFU issues the remaining fills as demand accesses when the
         entry reaches the head.
         """
-        for i, line in enumerate(entry.lines):
-            result = self.hierarchy.fetch_instruction(line, cycle)
+        lines = entry.lines
+        hierarchy = self.hierarchy
+        fetch = hierarchy.fetch_instruction
+        line_ready = entry.line_ready
+        ready_at = entry.ready_at
+        if hierarchy.itlb is None:
+            # Inlined hierarchy.fetch_ready_hit with *batched* counter
+            # updates: ready L1 hits (the overwhelmingly common case)
+            # accumulate access counts and the LRU clock in locals,
+            # flushed before any full fetch_instruction call so the
+            # interleaving leaves every counter exactly as the
+            # per-line calls would have.
+            l1i = hierarchy.l1i
+            state_get = l1i._lines.get
+            hit_ready = cycle + hierarchy._l1_hit
+            clock = l1i._clock
+            hits = 0
+            for i, line in enumerate(lines):
+                state = state_get(line)
+                if (state is not None and state.ready_cycle <= cycle
+                        and not state.unused_prefetch):
+                    clock += 1
+                    state.lru = clock
+                    hits += 1
+                    line_ready[line] = hit_ready
+                    if hit_ready > ready_at:
+                        ready_at = hit_ready
+                    continue
+                l1i._clock = clock
+                l1i.accesses += hits
+                hierarchy.l1i_demand_accesses += hits
+                hits = 0
+                result = fetch(line, cycle)
+                clock = l1i._clock
+                if result.stalled_mshr:
+                    entry.deferred_lines.extend(lines[i:])
+                    entry.ready_at = ready_at
+                    return
+                ready = result.ready_cycle
+                line_ready[line] = ready
+                if ready > ready_at:
+                    ready_at = ready
+                if result.l1_miss:
+                    entry.missed_lines.append(line)
+                elif result.pending_hit:
+                    entry.pending_lines.append(line)
+            l1i._clock = clock
+            l1i.accesses += hits
+            hierarchy.l1i_demand_accesses += hits
+            entry.ready_at = ready_at
+            return
+        for i, line in enumerate(lines):
+            result = fetch(line, cycle)
             if result.stalled_mshr:
-                entry.deferred_lines.extend(entry.lines[i:])
+                entry.deferred_lines.extend(lines[i:])
+                entry.ready_at = ready_at
                 return
-            entry.line_ready[line] = result.ready_cycle
+            ready = result.ready_cycle
+            line_ready[line] = ready
+            if ready > ready_at:
+                ready_at = ready
             if result.l1_miss:
                 entry.missed_lines.append(line)
             elif result.pending_hit:
                 entry.pending_lines.append(line)
+        entry.ready_at = ready_at
 
     def _finish_enqueue(self, entry: FTQEntry, cycle: int) -> None:
-        self._entries_since_resteer += 1
-        entry.entries_since_resteer = self._entries_since_resteer
+        since = self._entries_since_resteer + 1
+        self._entries_since_resteer = since
+        entry.entries_since_resteer = since
         entry.resteer_kind = self._last_resteer_kind
         entry.resteer_trigger_line = self._last_resteer_trigger
-        self.ftq.push(entry)
-        if entry.block.is_branch and (entry.taken or entry.is_wrong_path):
-            self.prefetcher.observe_branch(line_of(entry.block.branch_pc))
+        # inlined FTQ.push — _iag_fill already checked capacity
+        ftq = self.ftq
+        ftq._q.append(entry)
+        ftq.enqueues += 1
+        block = entry.block
+        observe = self._observe_branch
+        # inlined block.is_branch / line_of(block.branch_pc)
+        if (observe is not None and block.kind is not _FALLTHROUGH
+                and (entry.taken or entry.is_wrong_path)):
+            observe((block.addr + (block.num_instructions - 1)
+                     * INSTRUCTION_SIZE) >> LINE_SHIFT)
         self.prefetcher.on_ftq_enqueue(entry, cycle)
 
     # ==================================================================
     # stage 4: decode
     # ==================================================================
     def _decode(self, cycle: int) -> None:
-        cfg = self.config
-        budget = cfg.decode_width
+        width = self._decode_width
+        budget = width
         delivered_correct = 0
         delivered_wrong = 0
         blocked_backend = False
         starving_head: Optional[FTQEntry] = None
+        q = self.ftq._q
+        backend = self.backend
+        progress = self._decode_progress
+        admitted = self._head_admitted
 
         while budget > 0:
-            head = self.ftq.head()
-            if head is None:
+            if not q:
                 break
+            head = q[0]
             if head.deferred_lines:
                 self._issue_deferred(head, cycle)
-            if head.deferred_lines or head.ready_cycle > cycle:
+                if head.deferred_lines:
+                    starving_head = head
+                    break
+            if head.ready_at > cycle:
                 starving_head = head
                 break
-            remaining = head.block.num_instructions - self._decode_progress
-            if not self._head_admitted:
-                if not self.backend.admit(head, head.block.num_instructions,
-                                          cycle,
-                                          is_wrong_path=head.is_wrong_path):
+            num_instructions = head.block.num_instructions
+            remaining = num_instructions - progress
+            if not admitted:
+                if not backend.admit(head, num_instructions, cycle,
+                                     is_wrong_path=head.is_wrong_path):
                     blocked_backend = True
                     break
-                self._head_admitted = True
+                admitted = True
                 self._maybe_schedule_resteer(head, cycle)
-            take = min(budget, remaining)
-            self._decode_progress += take
+            take = remaining if remaining < budget else budget
+            progress += take
             budget -= take
             if head.is_wrong_path:
                 delivered_wrong += take
             else:
                 delivered_correct += take
-            if self._decode_progress >= head.block.num_instructions:
-                self.ftq.pop()
-                self._decode_progress = 0
-                self._head_admitted = False
+            if progress >= num_instructions:
+                q.popleft()
+                progress = 0
+                admitted = False
+        self._decode_progress = progress
+        self._head_admitted = admitted
 
         # -- top-down accounting ------------------------------------------
         st = self.stats
-        st.slots_total += cfg.decode_width
+        st.slots_total += width
         st.slots_retiring += delivered_correct
         st.slots_bad_speculation += delivered_wrong
         shortfall = budget
@@ -316,18 +605,23 @@ class Machine:
             st.decode_starvation_cycles += 1
             if starving_head is not None:
                 starving_head.starvation_cycles += 1
-                if self.backend.issue_queue_empty:
+                if backend.issue_queue_empty:
                     starving_head.backend_starved = True
 
     def _issue_deferred(self, head: FTQEntry, cycle: int) -> None:
         """Demand-issue fills the FDIP stream could not start (MSHR full)."""
-        while head.deferred_lines:
-            line = head.deferred_lines[0]
-            result = self.hierarchy.fetch_instruction(line, cycle)
+        deferred = head.deferred_lines
+        fetch = self.hierarchy.fetch_instruction
+        while deferred:
+            line = deferred[0]
+            result = fetch(line, cycle)
             if result.stalled_mshr:
                 return
-            head.deferred_lines.pop(0)
-            head.line_ready[line] = result.ready_cycle
+            deferred.pop(0)
+            ready = result.ready_cycle
+            head.line_ready[line] = ready
+            if ready > head.ready_at:
+                head.ready_at = ready
             if result.l1_miss:
                 head.missed_lines.append(line)
             elif result.pending_hit:
@@ -339,11 +633,10 @@ class Machine:
                 or entry.mispredict is not pr.kind
                 or not entry.mispredict.is_resteer or entry.is_wrong_path):
             return
-        cfg = self.config
         if entry.mispredict.resolves_at_predecode:
-            pr.scheduled = cycle + cfg.predecode_resteer_latency
+            pr.scheduled = cycle + self._predecode_lat
         else:
-            pr.scheduled = cycle + cfg.exec_resteer_latency
+            pr.scheduled = cycle + self._exec_lat
 
     # ==================================================================
     # stage 5: retirement callbacks
@@ -369,19 +662,22 @@ class Machine:
         self._data_stream(entry, cycle)
 
     def _data_stream(self, entry: FTQEntry, cycle: int) -> None:
-        profile = self.profile
-        cfg = self.config
-        rng = self._data_rng
+        rng_random = self._data_rng.random
+        access_prob = self.profile.data_access_prob
+        cum = self._data_cum
+        data_access = self.hierarchy.data_access
+        expose_prob = self._data_expose_prob
+        expose_frac = self._data_expose_frac
+        inject_stall = self.backend.inject_stall
         for _ in range(entry.block.num_instructions):
-            if rng.random() >= profile.data_access_prob:
+            if rng_random() >= access_prob:
                 continue
-            idx = bisect.bisect_left(self._data_cum, rng.random())
-            line = DATA_LINE_BASE + idx
-            ready, hit = self.hierarchy.data_access(line, cycle)
-            if not hit and rng.random() < cfg.data_miss_expose_prob:
-                exposed = int((ready - cycle) * cfg.data_miss_exposed_fraction)
+            idx = bisect_left(cum, rng_random())
+            ready, hit = data_access(DATA_LINE_BASE + idx, cycle)
+            if not hit and rng_random() < expose_prob:
+                exposed = int((ready - cycle) * expose_frac)
                 if exposed > 0:
-                    self.backend.inject_stall(cycle, exposed)
+                    inject_stall(cycle, exposed)
 
     # ==================================================================
     # stats plumbing
@@ -401,8 +697,9 @@ class Machine:
 
     def _snapshot(self) -> dict:
         snap = {}
-        for name in vars(self.stats):
-            value = getattr(self.stats, name)
+        stats = self.stats
+        for name in COUNTER_FIELDS:
+            value = getattr(stats, name)
             if isinstance(value, int):
                 snap["stats." + name] = value
         for stat_name, owner, attr in self._COUNTER_SOURCES:
@@ -411,8 +708,9 @@ class Machine:
 
     def _delta(self, snapshot: dict) -> SimulationStats:
         out = SimulationStats()
-        for name in vars(self.stats):
-            value = getattr(self.stats, name)
+        stats = self.stats
+        for name in COUNTER_FIELDS:
+            value = getattr(stats, name)
             if isinstance(value, int):
                 setattr(out, name, value - snapshot.get("stats." + name, 0))
         for stat_name, owner, attr in self._COUNTER_SOURCES:

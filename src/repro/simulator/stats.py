@@ -9,13 +9,20 @@ coverage (Fig. 12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
+from repro.utils import SLOTTED
 
-@dataclass
+
+@dataclass(**SLOTTED)
 class SimulationStats:
-    """Raw counters for one measured run (post-warmup)."""
+    """Raw counters for one measured run (post-warmup).
+
+    Slotted on Python 3.10+ (the machine touches several counters every
+    cycle), so iterate the counters with :data:`COUNTER_FIELDS` or
+    :meth:`counters` — ``vars(stats)`` does not work on a slotted class.
+    """
 
     cycles: int = 0
     instructions: int = 0
@@ -66,6 +73,20 @@ class SimulationStats:
 
     # -- free-form extras (per-policy diagnostics) ----------------------------
     extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # counter iteration (slots-safe replacement for ``vars(stats)``)
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """Numeric counters as a dict (``extra`` excluded)."""
+        return {name: value for name in COUNTER_FIELDS
+                if isinstance(value := getattr(self, name), (int, float))}
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full payload: every counter plus the ``extra`` dict."""
+        data: Dict[str, object] = dict(self.counters())
+        data["extra"] = dict(self.extra)
+        return data
 
     # ------------------------------------------------------------------
     # derived metrics
@@ -158,3 +179,8 @@ class SimulationStats:
                 f"L2I={self.l2i_mpki:.1f} L3={self.l3_mpki:.2f} "
                 f"PPKI={self.ppki:.1f} acc={self.prefetch_accuracy:.2f} "
                 f"FEstall={self.decode_starvation_cycles}")
+
+
+#: every scalar counter field, in declaration order (``extra`` excluded)
+COUNTER_FIELDS = tuple(f.name for f in fields(SimulationStats)
+                       if f.name != "extra")

@@ -10,6 +10,13 @@ perturbs existing components.
 from __future__ import annotations
 
 import random
+import sys
+
+#: ``@dataclass(**SLOTTED)`` gives hot-path record classes ``__slots__``
+#: (faster attribute access, no per-instance ``__dict__``) on Python
+#: 3.10+, and degrades to a plain dataclass on 3.9 (the oldest CI rung),
+#: where ``dataclass(slots=True)`` does not exist.
+SLOTTED = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 #: Cache line size in bytes used throughout the model (Table 1: 64B lines).
 LINE_SIZE = 64

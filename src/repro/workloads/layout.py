@@ -75,6 +75,10 @@ class BasicBlock:
     indirect_pattern: Tuple[int, ...] = ()
     #: Owning function id.
     fid: int = -1
+    #: memoized :meth:`lines` result (blocks are immutable once the
+    #: layout is generated, so the span never changes)
+    _lines: Optional[List[int]] = field(default=None, repr=False,
+                                        compare=False)
 
     @property
     def size_bytes(self) -> int:
@@ -97,8 +101,15 @@ class BasicBlock:
         return self.kind is not BranchKind.FALLTHROUGH
 
     def lines(self) -> List[int]:
-        """Cache-line numbers this block occupies."""
-        return lines_spanned(self.addr, self.size_bytes)
+        """Cache-line numbers this block occupies (memoized).
+
+        The returned list is shared across calls — treat it as
+        read-only (every hot-path consumer only iterates or slices it).
+        """
+        cached = self._lines
+        if cached is None:
+            cached = self._lines = lines_spanned(self.addr, self.size_bytes)
+        return cached
 
 
 @dataclass

@@ -22,19 +22,26 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.utils import derive_rng
+from repro.utils import SLOTTED, derive_rng
 from repro.workloads.layout import BasicBlock, BranchKind, CodeLayout
 
 
-@dataclass
 class ControlFlowEvent:
-    """The outcome of executing one basic block on the correct path."""
+    """The outcome of executing one basic block on the correct path.
 
-    block: BasicBlock
-    taken: bool
-    next_bid: int
-    #: byte address control transfers to (entry of ``next_bid``)
-    target_addr: int
+    Plain ``__slots__`` class (one is allocated per correct-path block,
+    making construction a hot path).
+    """
+
+    __slots__ = ("block", "taken", "next_bid", "target_addr")
+
+    def __init__(self, block: BasicBlock, taken: bool, next_bid: int,
+                 target_addr: int):
+        self.block = block
+        self.taken = taken
+        self.next_bid = next_bid
+        #: byte address control transfers to (entry of ``next_bid``)
+        self.target_addr = target_addr
 
 
 class PathWalker:
@@ -59,17 +66,13 @@ class PathWalker:
 
     def next_event(self) -> ControlFlowEvent:
         """Execute the current block and advance to its successor."""
-        layout = self.layout
-        block = layout.blocks[self.current]
+        blocks = self.layout.blocks
+        block = blocks[self.current]
         taken, next_bid = self._outcome(block)
         self.current = next_bid
         self.events += 1
-        return ControlFlowEvent(
-            block=block,
-            taken=taken,
-            next_bid=next_bid,
-            target_addr=layout.blocks[next_bid].addr,
-        )
+        return ControlFlowEvent(block, taken, next_bid,
+                                blocks[next_bid].addr)
 
     def _outcome(self, block: BasicBlock) -> "tuple[bool, int]":
         kind = block.kind

@@ -1,0 +1,120 @@
+"""Unit tests for the ``repro bench`` harness (src/repro/bench.py).
+
+These exercise the harness plumbing — cell records, report assembly,
+baseline joining, and the regression gate — without long simulations:
+the one real ``run_cell`` call uses a tiny instruction budget.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    BenchCell,
+    BenchReport,
+    DEFAULT_CELLS,
+    DEFAULT_TOLERANCE,
+    QUICK_CELLS,
+    check_regression,
+    load_baseline,
+    run_cell,
+    write_report,
+)
+
+
+class TestGrids:
+    def test_quick_is_subset_of_default(self):
+        default_names = {c.name for c in DEFAULT_CELLS}
+        for cell in QUICK_CELLS:
+            assert cell.name in default_names
+
+    def test_cell_names_unique(self):
+        names = [c.name for c in DEFAULT_CELLS]
+        assert len(names) == len(set(names))
+
+    def test_default_grid_covers_probe_and_budgets(self):
+        assert any(c.probe for c in DEFAULT_CELLS)
+        budgets = {c.instructions for c in DEFAULT_CELLS}
+        assert len(budgets) >= 2  # short and long
+
+    def test_cell_key_is_name(self):
+        cell = DEFAULT_CELLS[0]
+        assert cell.key == cell.name
+
+
+class TestRunCell:
+    def test_run_cell_record_fields(self):
+        cell = BenchCell(name="tiny", benchmark="tatp", policy="baseline",
+                         instructions=2_000, warmup=400)
+        rec = run_cell(cell, repeats=1)
+        assert rec["name"] == "tiny"
+        assert rec["benchmark"] == "tatp"
+        assert rec["policy"] == "baseline"
+        assert rec["instructions"] == 2_000
+        assert rec["wall_s"] > 0
+        assert rec["simulated_cycles"] > 0
+        assert rec["cycles_per_sec"] > 0
+        assert rec["ipc"] > 0
+        # the probe-free cell should fast-forward at least once
+        assert rec["fast_forwarded_cycles"] > 0
+        assert rec["probe"] is False
+
+
+def _report_with(ratios):
+    report = BenchReport(calib=1.0)
+    for i, ratio in enumerate(ratios):
+        rec = {"name": "cell-%d" % i, "cycles_per_sec": 100.0,
+               "norm_score": 1.0}
+        if ratio is not None:
+            rec["speedup_vs_baseline"] = ratio
+            rec["norm_ratio_vs_baseline"] = ratio
+        report.cells.append(rec)
+    return report
+
+
+class TestRegressionGate:
+    def test_no_failures_when_at_baseline(self):
+        assert check_regression(_report_with([1.0, 1.1])) == []
+
+    def test_within_tolerance_passes(self):
+        # 0.81 > 1 - 0.20
+        assert check_regression(_report_with([0.81])) == []
+
+    def test_beyond_tolerance_fails(self):
+        failures = check_regression(_report_with([0.79]))
+        assert len(failures) == 1
+        assert "cell-0" in failures[0]
+
+    def test_custom_tolerance(self):
+        assert check_regression(_report_with([0.95]), tolerance=0.02)
+        assert not check_regression(_report_with([0.99]), tolerance=0.02)
+
+    def test_cells_without_baseline_never_gate(self):
+        assert check_regression(_report_with([None, None])) == []
+
+    def test_default_tolerance_is_twenty_percent(self):
+        assert DEFAULT_TOLERANCE == 0.20
+
+
+class TestReportDocument:
+    def test_geomeans_present_when_joined(self):
+        doc = _report_with([2.0, 0.5]).to_dict()
+        assert abs(doc["geomean_speedup_vs_baseline"] - 1.0) < 1e-9
+        assert abs(doc["geomean_norm_ratio_vs_baseline"] - 1.0) < 1e-9
+
+    def test_geomeans_absent_without_baseline(self):
+        doc = _report_with([None]).to_dict()
+        assert "geomean_speedup_vs_baseline" not in doc
+        assert "geomean_norm_ratio_vs_baseline" not in doc
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        report = _report_with([1.5])
+        out = write_report(report, tmp_path / "BENCH_runner.json")
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == 1
+        assert doc["cells"][0]["name"] == "cell-0"
+        # write_report output parses with the baseline loader too
+        assert load_baseline(out)["calib_score"] == 1.0
+
+    def test_load_baseline_missing_returns_none(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") is None

@@ -139,7 +139,7 @@ class TestStoreLoadRoundTrip:
             result_cache.store("prop-key", stats)
             loaded = result_cache.load("prop-key")
         assert loaded is not None
-        assert vars(loaded) == vars(stats)
+        assert loaded.to_dict() == stats.to_dict()
         for name in _COUNTER_FIELDS:
             assert getattr(loaded, name) == getattr(stats, name)
         assert loaded.extra == stats.extra

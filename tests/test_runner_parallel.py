@@ -36,7 +36,7 @@ def _assert_grids_identical(a, b):
     for bench in a:
         assert set(a[bench]) == set(b[bench])
         for policy in a[bench]:
-            assert vars(a[bench][policy]) == vars(b[bench][policy]), \
+            assert a[bench][policy].to_dict() == b[bench][policy].to_dict(), \
                 (bench, policy)
 
 
@@ -124,14 +124,14 @@ class TestDeterminism:
                           **GRID)
         assert a.ipc == b.ipc
         assert a.l1i_mpki == b.l1i_mpki
-        assert vars(a) == vars(b)
+        assert a.to_dict() == b.to_dict()
 
     def test_same_seed_identical_after_layout_cache_clear(self, tmp_cache):
         clear_layout_cache()
         a = run_benchmark("tatp", "pdip_44", seed=5, use_cache=False, **GRID)
         clear_layout_cache()
         b = run_benchmark("tatp", "pdip_44", seed=5, use_cache=False, **GRID)
-        assert vars(a) == vars(b)
+        assert a.to_dict() == b.to_dict()
 
     def test_different_seed_different_layout(self):
         shape = lambda l: [(b.bid, b.addr, b.num_instructions)
