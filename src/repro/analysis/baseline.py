@@ -1,0 +1,91 @@
+"""Baseline files: grandfather known findings without weakening the gate.
+
+A baseline is a committed JSON file listing findings that existed when a
+rule was introduced. ``repro lint`` subtracts baselined findings from
+the report, so the gate only fires on *new* violations — adopting a new
+rule never requires fixing the whole tree in one PR. Entries are keyed
+on ``(rule, path, message)``, deliberately excluding the line number so
+unrelated edits to a file do not churn the baseline, and matched as a
+multiset so two identical findings need two baseline entries.
+
+The shipped ``lint_baseline.json`` is empty: the tree lints clean, and
+the review bar for adding an entry is the same as for a suppression.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.engine import Finding
+
+BASELINE_VERSION = 1
+
+#: default baseline filename, resolved against the project root
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Baseline keys (as a multiset) from ``path``.
+
+    Raises ``ValueError`` on malformed content — a broken baseline must
+    fail the run, not silently un-grandfather everything.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else payload!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: 'findings' must be a list")
+    keys: Counter = Counter()
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline {path}: entry {index} is not an object")
+        try:
+            keys[(str(entry["rule"]), str(entry["path"]), str(entry["message"]))] += 1
+        except KeyError as exc:
+            raise ValueError(
+                f"baseline {path}: entry {index} is missing {exc}"
+            ) from exc
+    return keys
+
+
+def match_baseline(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding], Counter]:
+    """Split ``findings`` into (new, grandfathered); also return the
+    baseline entries that matched nothing (stale — the defect was fixed
+    but the entry lingers)."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = +remaining  # drop zero/negative counts
+    return new, grandfathered, stale
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Serialise ``findings`` as the new baseline (sorted, stable)."""
+    entries: List[Dict[str, str]] = [
+        {"rule": f.rule, "path": f.path, "message": f.message}
+        for f in sorted(findings, key=Finding.key)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")

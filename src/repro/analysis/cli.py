@@ -1,0 +1,128 @@
+"""Driver for the ``repro lint`` subcommand.
+
+Exit codes: 0 — clean (baselined findings and warnings do not fail the
+gate); 1 — at least one new error-severity finding; 2 — usage or
+internal error (bad path, malformed baseline, unknown rule name).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    match_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    Finding,
+    discover,
+    find_project_root,
+    run_rules,
+)
+from repro.analysis.rules import ALL_RULES, get_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _print_rule_list(out: TextIO) -> None:
+    width = max(len(rule.name) for rule in ALL_RULES)
+    for rule in ALL_RULES:
+        out.write(
+            f"{rule.name:<{width}}  [{rule.severity}/{rule.scope}] "
+            f"{rule.description}\n"
+        )
+
+
+def run_lint(
+    paths: List[str],
+    fmt: str = "text",
+    baseline: Optional[str] = None,
+    no_baseline: bool = False,
+    write_baseline_path: Optional[str] = None,
+    select: Optional[List[str]] = None,
+    list_rules: bool = False,
+    out: Optional[TextIO] = None,
+    err: Optional[TextIO] = None,
+) -> int:
+    """Lint ``paths`` and report; returns the process exit code."""
+    # resolved at call time so pytest capsys / redirected streams work
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    if list_rules:
+        _print_rule_list(out)
+        return EXIT_CLEAN
+
+    try:
+        rules = get_rules(select)
+    except ValueError as exc:
+        err.write(f"repro lint: {exc}\n")
+        return EXIT_USAGE
+
+    scan_paths = [Path(p) for p in (paths or ["src/repro"])]
+    missing = [p for p in scan_paths if not p.exists()]
+    if missing:
+        err.write(
+            f"repro lint: no such path: {', '.join(str(p) for p in missing)}\n"
+        )
+        return EXIT_USAGE
+
+    root = find_project_root(scan_paths)
+    project = discover(scan_paths, root=root)
+    findings = run_rules(project, rules)
+
+    if write_baseline_path is not None:
+        target = Path(write_baseline_path)
+        write_baseline(target, findings)
+        out.write(f"wrote {len(findings)} finding(s) to {target}\n")
+        return EXIT_CLEAN
+
+    grandfathered: List[Finding] = []
+    stale_count = 0
+    if not no_baseline:
+        baseline_path = (
+            Path(baseline) if baseline is not None else root / DEFAULT_BASELINE_NAME
+        )
+        if baseline is not None and not baseline_path.exists():
+            err.write(f"repro lint: baseline not found: {baseline_path}\n")
+            return EXIT_USAGE
+        if baseline_path.exists():
+            try:
+                entries = load_baseline(baseline_path)
+            except ValueError as exc:
+                err.write(f"repro lint: {exc}\n")
+                return EXIT_USAGE
+            findings, grandfathered, stale = match_baseline(findings, entries)
+            stale_count = sum(stale.values())
+
+    errors = [f for f in findings if f.severity == "error"]
+    warnings = [f for f in findings if f.severity != "error"]
+
+    if fmt == "json":
+        payload = {
+            "findings": [f.to_dict() for f in findings],
+            "summary": {
+                "errors": len(errors),
+                "warnings": len(warnings),
+                "baselined": len(grandfathered),
+                "stale_baseline_entries": stale_count,
+            },
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        for finding in findings:
+            out.write(finding.render() + "\n")
+        summary = f"{len(errors)} error(s), {len(warnings)} warning(s)"
+        if grandfathered:
+            summary += f", {len(grandfathered)} baselined"
+        if stale_count:
+            summary += f", {stale_count} stale baseline entr(y/ies)"
+        out.write(summary + "\n")
+
+    return EXIT_FINDINGS if errors else EXIT_CLEAN

@@ -1,0 +1,441 @@
+"""Config-coherence rules: reads and definitions must agree.
+
+The experiment matrix drives the simulator entirely through two frozen
+dataclasses — ``MachineConfig`` (``simulator/config.py``) and
+``HierarchyConfig`` (``memory/hierarchy.py``). Because both flow through
+plain dataclass construction, a typo'd field read (``cfg.fetch_witdh``)
+or a constructor keyword for a field that no longer exists surfaces only
+at runtime, possibly hours into a sweep.
+
+Two project-scope rules share one analysis:
+
+* ``config-unknown-field`` (error) — an attribute read on a tracked
+  config binding, or a constructor/``dataclasses.replace`` keyword, that
+  names no field (or method) of the config class.
+* ``config-unused-field`` (warning) — a declared field never read (or
+  passed to a constructor) anywhere in the scanned tree; likely a
+  leftover from a removed mechanism. Warning severity: it cannot crash,
+  it just rots.
+
+Bindings are tracked conservatively — only names provably tied to a
+config class: parameters annotated with the class (``Optional[...]`` and
+string annotations included), locals assigned from its constructor /
+classmethods / ``dataclasses.replace`` / already-tracked names, ``self``
+attributes bound in ``__init__`` from tracked expressions, and ``self``
+inside the config class's own methods. Anything else (other objects
+that happen to be called ``config``) is ignored rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    ann_field_names,
+    dotted_name,
+    find_class,
+    from_import_map,
+)
+
+#: (module suffix, class name) of each tracked config dataclass
+CONFIG_CLASSES: Tuple[Tuple[str, str], ...] = (
+    ("simulator.config", "MachineConfig"),
+    ("memory.hierarchy", "HierarchyConfig"),
+)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class _ConfigClassInfo:
+    """Field/member inventory of one tracked config class."""
+
+    __slots__ = ("name", "module", "classdef", "fields", "members", "field_lines")
+
+    def __init__(self, name: str, module: ModuleInfo, classdef: ast.ClassDef):
+        self.name = name
+        self.module = module
+        self.classdef = classdef
+        self.fields: Set[str] = set(ann_field_names(classdef))
+        self.field_lines: Dict[str, int] = {
+            node.target.id: node.lineno
+            for node in classdef.body
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name)
+        }
+        #: attribute names legal on an instance: fields plus methods,
+        #: properties, and class-level constants
+        self.members: Set[str] = set(self.fields)
+        for node in classdef.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.members.add(node.name)
+            elif isinstance(node, ast.Assign):
+                self.members.update(
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                )
+
+
+class _Analysis:
+    """Shared result: unknown-member uses and the project-wide used-field set."""
+
+    __slots__ = ("classes", "unknown", "used")
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, _ConfigClassInfo] = {}
+        #: (module, line, class name, attribute, kind); kind is
+        #: "attribute" or "keyword"
+        self.unknown: List[Tuple[ModuleInfo, int, str, str, str]] = []
+        self.used: Dict[str, Set[str]] = {}
+
+
+def _annotation_mentions(annotation: Optional[ast.AST], class_name: str) -> bool:
+    """True when ``class_name`` appears anywhere in the annotation,
+    including inside ``Optional[...]`` and string annotations."""
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id == class_name:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == class_name:
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if class_name in node.value:
+                return True
+    return False
+
+
+def _walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root``'s subtree without descending into nested
+    function/class definitions (the nested defs themselves are yielded
+    so callers can recurse with fresh scopes)."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node is root or not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+class _ModuleScanner:
+    """Track config bindings and record member uses in one module."""
+
+    def __init__(self, module: ModuleInfo, analysis: _Analysis):
+        self.module = module
+        self.analysis = analysis
+        self.imports = from_import_map(module.tree)
+
+    def scan(self) -> None:
+        self._process_scope(list(self.module.tree.body), {}, {})
+
+    # -- binding resolution -------------------------------------------
+    def _call_class(
+        self,
+        node: ast.Call,
+        env: Dict[str, str],
+        self_env: Dict[str, str],
+    ) -> Optional[str]:
+        """Class name when ``node`` constructs a tracked config (direct
+        constructor, a classmethod on the class, or dataclasses.replace
+        on a tracked binding)."""
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        head = name.split(".")[0]
+        resolved = self.imports.get(head, head)
+        for cls in self.analysis.classes:
+            if resolved == cls or resolved.endswith("." + cls):
+                return cls
+            if name == cls or name.endswith("." + cls):
+                return cls
+            # ``HierarchyConfig.paper_table1()``-style classmethods
+            parts = name.split(".")
+            if len(parts) >= 2 and parts[-2] == cls:
+                return cls
+        if name.rsplit(".", 1)[-1] == "replace" and node.args:
+            return self._expr_class(node.args[0], env, self_env)
+        return None
+
+    def _expr_class(
+        self,
+        expr: ast.AST,
+        env: Dict[str, str],
+        self_env: Dict[str, str],
+    ) -> Optional[str]:
+        """Config class of an expression, or None if not provably one."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            if expr.value.id == "self":
+                return self_env.get(expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            cls = self._call_class(expr, env, self_env)
+            if cls is not None:
+                return cls
+            # methods returning the class itself: cfg.scaled(...)
+            if isinstance(expr.func, ast.Attribute):
+                base = self._expr_class(expr.func.value, env, self_env)
+                if base is not None:
+                    info = self.analysis.classes[base]
+                    if expr.func.attr in (info.members - info.fields):
+                        return base
+            return None
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                cls = self._expr_class(value, env, self_env)
+                if cls is not None:
+                    return cls
+        if isinstance(expr, ast.IfExp):
+            for value in (expr.body, expr.orelse):
+                cls = self._expr_class(value, env, self_env)
+                if cls is not None:
+                    return cls
+        return None
+
+    # -- scope processing ---------------------------------------------
+    def _process_scope(
+        self,
+        stmts: List[ast.stmt],
+        env: Dict[str, str],
+        self_env: Dict[str, str],
+    ) -> None:
+        env = dict(env)
+        plain = [
+            stmt for stmt in stmts if not isinstance(stmt, _SCOPE_NODES)
+        ]
+        # fixed point so aliases resolve regardless of statement order
+        # (``cfg = base`` above/below ``base = MachineConfig(...)``)
+        changed = True
+        while changed:
+            changed = False
+            for stmt in plain:
+                for target_name, cls in self._scope_assignments(
+                    stmt, env, self_env
+                ):
+                    if env.get(target_name) != cls:
+                        env[target_name] = cls
+                        changed = True
+        nested: List[ast.AST] = []
+        for stmt in stmts:
+            if isinstance(stmt, _SCOPE_NODES):
+                nested.append(stmt)
+            else:
+                nested.extend(self._scan_uses(stmt, env, self_env))
+        for node in nested:
+            if isinstance(node, ast.ClassDef):
+                self._process_class(node, env)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._process_scope(
+                    list(node.body), {**env, **self._param_env(node)}, self_env
+                )
+
+    def _process_class(self, classdef: ast.ClassDef, env: Dict[str, str]) -> None:
+        class_self_env = self._class_self_env(classdef, env)
+        is_config = classdef.name in self.analysis.classes
+        for stmt in classdef.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_env = {**env, **self._param_env(stmt)}
+                if is_config and stmt.args.args and not any(
+                    isinstance(deco, ast.Name)
+                    and deco.id in ("staticmethod", "classmethod")
+                    for deco in stmt.decorator_list
+                ):
+                    # ``self`` inside the config class's own methods
+                    method_env.setdefault(stmt.args.args[0].arg, classdef.name)
+                self._process_scope(list(stmt.body), method_env, class_self_env)
+            elif isinstance(stmt, ast.ClassDef):
+                self._process_class(stmt, env)
+            else:
+                for node in self._scan_uses(stmt, env, class_self_env):
+                    if isinstance(node, ast.ClassDef):
+                        self._process_class(node, env)
+
+    def _scope_assignments(
+        self,
+        stmt: ast.stmt,
+        env: Dict[str, str],
+        self_env: Dict[str, str],
+    ) -> Iterator[Tuple[str, str]]:
+        for node in _walk_scope(stmt):
+            if node is not stmt and isinstance(node, _SCOPE_NODES):
+                continue
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if isinstance(target, ast.Name) and value is not None:
+                cls = self._expr_class(value, env, self_env)
+                if cls is not None:
+                    yield target.id, cls
+
+    def _scan_uses(
+        self,
+        stmt: ast.stmt,
+        env: Dict[str, str],
+        self_env: Dict[str, str],
+    ) -> List[ast.AST]:
+        """Record member uses in ``stmt``; return nested defs skipped
+        (the caller recurses into them with fresh scopes)."""
+        nested: List[ast.AST] = []
+        for node in _walk_scope(stmt):
+            if node is not stmt and isinstance(node, _SCOPE_NODES):
+                nested.append(node)
+                continue
+            if isinstance(node, ast.Attribute):
+                cls = self._expr_class(node.value, env, self_env)
+                if cls is not None and not node.attr.startswith("_"):
+                    self._record_use(node, cls, node.attr)
+            elif isinstance(node, ast.Call):
+                cls = self._call_class(node, env, self_env)
+                if cls is not None:
+                    info = self.analysis.classes[cls]
+                    for keyword in node.keywords:
+                        if keyword.arg is None:
+                            continue
+                        if keyword.arg in info.fields:
+                            self.analysis.used[cls].add(keyword.arg)
+                        else:
+                            self.analysis.unknown.append(
+                                (
+                                    self.module,
+                                    node.lineno,
+                                    cls,
+                                    keyword.arg,
+                                    "keyword",
+                                )
+                            )
+        return nested
+
+    def _record_use(self, node: ast.Attribute, cls: str, attr: str) -> None:
+        info = self.analysis.classes[cls]
+        if attr in info.fields:
+            self.analysis.used[cls].add(attr)
+        elif attr not in info.members:
+            self.analysis.unknown.append(
+                (self.module, node.lineno, cls, attr, "attribute")
+            )
+
+    def _param_env(
+        self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> Dict[str, str]:
+        env: Dict[str, str] = {}
+        args = func.args
+        all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in all_args:
+            for cls in self.analysis.classes:
+                if _annotation_mentions(arg.annotation, cls):
+                    env[arg.arg] = cls
+        return env
+
+    def _class_self_env(
+        self, classdef: ast.ClassDef, env: Dict[str, str]
+    ) -> Dict[str, str]:
+        """``self.<attr>`` bindings established in ``__init__``."""
+        self_env: Dict[str, str] = {}
+        for method in classdef.body:
+            if not isinstance(method, ast.FunctionDef) or method.name != "__init__":
+                continue
+            init_env = {**env, **self._param_env(method)}
+            # combined fixed point: ``self.config = config or ...`` and
+            # ``cfg = self.config`` feed each other, in either order
+            changed = True
+            while changed:
+                changed = False
+                for stmt in method.body:
+                    if isinstance(stmt, _SCOPE_NODES):
+                        continue
+                    for name, cls in self._scope_assignments(
+                        stmt, init_env, self_env
+                    ):
+                        if init_env.get(name) != cls:
+                            init_env[name] = cls
+                            changed = True
+                    for node in _walk_scope(stmt):
+                        if node is not stmt and isinstance(node, _SCOPE_NODES):
+                            continue
+                        if (
+                            isinstance(node, ast.Assign)
+                            and len(node.targets) == 1
+                            and isinstance(node.targets[0], ast.Attribute)
+                            and isinstance(node.targets[0].value, ast.Name)
+                            and node.targets[0].value.id == "self"
+                        ):
+                            cls = self._expr_class(node.value, init_env, self_env)
+                            if cls is not None and self_env.get(
+                                node.targets[0].attr
+                            ) != cls:
+                                self_env[node.targets[0].attr] = cls
+                                changed = True
+        return self_env
+
+
+def _analyze(project: Project) -> Optional[_Analysis]:
+    analysis = _Analysis()
+    for suffix, class_name in CONFIG_CLASSES:
+        module = project.get_by_suffix(suffix)
+        if module is None:
+            continue
+        classdef = find_class(module.tree, class_name)
+        if classdef is None:
+            continue
+        analysis.classes[class_name] = _ConfigClassInfo(class_name, module, classdef)
+        analysis.used[class_name] = set()
+    if not analysis.classes:
+        return None
+    for module in project.iter_modules():
+        _ModuleScanner(module, analysis).scan()
+    return analysis
+
+
+class ConfigUnknownFieldRule(Rule):
+    """Attribute reads / constructor keywords must name real fields."""
+
+    name = "config-unknown-field"
+    description = (
+        "an attribute or constructor keyword on MachineConfig/"
+        "HierarchyConfig must name a declared field"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        analysis = _analyze(project)
+        if analysis is None:
+            return
+        for module, lineno, cls, attr, kind in analysis.unknown:
+            yield self.finding(
+                module,
+                lineno,
+                f"{kind} '{attr}' does not exist on {cls} "
+                f"(defined in {analysis.classes[cls].module.rel_path})",
+            )
+
+
+class ConfigUnusedFieldRule(Rule):
+    """Declared config fields should be read somewhere in the tree."""
+
+    name = "config-unused-field"
+    description = (
+        "a MachineConfig/HierarchyConfig field never read anywhere in "
+        "the scanned tree is likely dead configuration"
+    )
+    severity = "warning"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        analysis = _analyze(project)
+        if analysis is None:
+            return
+        for cls in sorted(analysis.classes):
+            info = analysis.classes[cls]
+            for field_name in sorted(info.fields - analysis.used[cls]):
+                yield self.finding(
+                    info.module,
+                    info.field_lines.get(field_name, info.classdef.lineno),
+                    f"field '{cls}.{field_name}' is never read in the "
+                    f"scanned tree; remove it or wire it up",
+                )

@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.utils import SLOTTED
 
-@dataclass
+
+@dataclass(**SLOTTED)
 class BTBEntry:
     """One BTB entry: tag, predicted target, and branch kind."""
 

@@ -11,6 +11,8 @@ Commands:
 * ``manifest`` — print the summary of a suite run's JSON manifest;
 * ``workload`` — characterize a benchmark's instruction stream;
 * ``trace`` — record a workload trace to a file, or replay one;
+* ``lint`` — run the AST determinism/architecture rules
+  (see :mod:`repro.analysis`);
 * ``list`` — show the available benchmarks, policies, and figures.
 """
 
@@ -122,6 +124,25 @@ def build_parser() -> argparse.ArgumentParser:
     t_rep.add_argument("--instructions", type=int, default=100_000)
     t_rep.add_argument("--warmup", type=int, default=20_000)
     t_rep.add_argument("--seed", type=int, default=1)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the AST determinism/architecture rules")
+    p_lint.add_argument("paths", nargs="*", default=[],
+                        help="files/directories to scan (default: src/repro)")
+    p_lint.add_argument("--format", dest="format", default="text",
+                        choices=("text", "json"), help="report format")
+    p_lint.add_argument("--baseline", default=None,
+                        help="baseline JSON (default: <root>/lint_baseline.json "
+                             "when present)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too")
+    p_lint.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="write current findings as the baseline at PATH "
+                             "and exit")
+    p_lint.add_argument("--select", default=None,
+                        help="comma-separated rule names (default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
 
     sub.add_parser("list", help="show benchmarks, policies, figures")
     return parser
@@ -284,6 +305,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: AST determinism/architecture rules."""
+    from repro.analysis.cli import run_lint
+
+    select = ([s.strip() for s in args.select.split(",") if s.strip()]
+              if args.select else None)
+    return run_lint(args.paths, fmt=args.format, baseline=args.baseline,
+                    no_baseline=args.no_baseline,
+                    write_baseline_path=args.write_baseline,
+                    select=select, list_rules=args.list_rules)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     """``repro list``: show the catalogs."""
     print("benchmarks:")
@@ -304,6 +337,7 @@ COMMANDS = {
     "manifest": cmd_manifest,
     "workload": cmd_workload,
     "trace": cmd_trace,
+    "lint": cmd_lint,
     "list": cmd_list,
 }
 

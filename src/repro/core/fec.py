@@ -21,6 +21,7 @@ from typing import Iterable, List, Optional, Set
 
 from repro.branch.bpu import MispredictKind
 from repro.frontend.ftq import FTQEntry
+from repro.utils import SLOTTED
 
 
 class TriggerType(Enum):
@@ -31,7 +32,7 @@ class TriggerType(Enum):
     LAST_TAKEN = "last_taken"    # long-latency miss; no resteer nearby
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class FECEvent:
     """One line qualifying as front-end critical at retirement."""
 

@@ -17,14 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.utils import LINE_SHIFT
+from repro.utils import LINE_SHIFT, SLOTTED
 
 #: 4 KB pages: 64 lines per page
 PAGE_SHIFT = 12
 LINES_PER_PAGE = 1 << (PAGE_SHIFT - LINE_SHIFT)
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class _TLBEntry:
     tag: int
     lru: int = 0

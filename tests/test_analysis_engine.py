@@ -1,0 +1,170 @@
+"""Engine-level tests: discovery, suppressions, baseline round-trip."""
+
+import json
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, match_baseline, write_baseline
+from repro.analysis.engine import Finding, discover, run_rules
+from repro.analysis.rules import get_rules
+from repro.analysis.rules.determinism import WallClockRule
+
+
+def make_tree(tmp_path, files):
+    """Write ``{relative path: source}`` under ``tmp_path``."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(source))
+    return tmp_path
+
+
+def lint_tree(tmp_path, files, rules=None):
+    root = make_tree(tmp_path, files)
+    project = discover([root], root=root)
+    return run_rules(project, rules if rules is not None else get_rules())
+
+
+class TestDiscovery:
+    def test_module_names_and_units(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/simulator/__init__.py": "",
+            "pkg/simulator/machine.py": "x = 1\n",
+        })
+        project = discover([root], root=root)
+        module = project.get_by_suffix("simulator.machine")
+        assert module is not None
+        assert module.name == "pkg.simulator.machine"
+        assert module.unit == "simulator"
+        assert not module.is_package
+        assert project.modules["pkg.simulator"].is_package
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/broken.py": "def f(:\n",
+        })
+        assert [f.rule for f in findings] == ["parse-error"]
+        assert findings[0].path == "pkg/broken.py"
+
+    def test_single_file_path(self, tmp_path):
+        path = tmp_path / "lone.py"
+        path.write_text("import time\n")
+        project = discover([path], root=tmp_path)
+        assert "lone" in project.modules
+
+
+class TestSuppressions:
+    FILES = {
+        "pkg/__init__.py": "",
+        "pkg/simulator/__init__.py": "",
+    }
+
+    def _wallclock(self, tmp_path, body):
+        files = dict(self.FILES)
+        files["pkg/simulator/clock.py"] = body
+        return lint_tree(tmp_path, files, rules=[WallClockRule()])
+
+    def test_unsuppressed_fires(self, tmp_path):
+        findings = self._wallclock(
+            tmp_path, "import time\nt = time.time()\n")
+        assert [f.rule for f in findings] == ["determinism-wallclock"]
+
+    def test_same_line_suppression(self, tmp_path):
+        findings = self._wallclock(
+            tmp_path,
+            "import time\n"
+            "t = time.time()  # repro: lint-ignore[determinism-wallclock]\n",
+        )
+        assert findings == []
+
+    def test_comment_line_above(self, tmp_path):
+        findings = self._wallclock(
+            tmp_path,
+            "import time\n"
+            "# repro: lint-ignore[determinism-wallclock]\n"
+            "t = time.time()\n",
+        )
+        assert findings == []
+
+    def test_wrong_rule_name_does_not_suppress(self, tmp_path):
+        findings = self._wallclock(
+            tmp_path,
+            "import time\n"
+            "t = time.time()  # repro: lint-ignore[some-other-rule]\n",
+        )
+        assert len(findings) == 1
+
+    def test_star_suppresses_everything(self, tmp_path):
+        findings = self._wallclock(
+            tmp_path,
+            "import time\nt = time.time()  # repro: lint-ignore[*]\n",
+        )
+        assert findings == []
+
+
+class TestBaseline:
+    def _findings(self):
+        return [
+            Finding("rule-a", "pkg/a.py", 3, "first"),
+            Finding("rule-a", "pkg/a.py", 9, "first"),
+            Finding("rule-b", "pkg/b.py", 1, "second"),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings())
+        entries = load_baseline(path)
+        new, grandfathered, stale = match_baseline(self._findings(), entries)
+        assert new == []
+        assert len(grandfathered) == 3
+        assert sum(stale.values()) == 0
+
+    def test_line_moves_do_not_churn(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings())
+        moved = [
+            Finding("rule-a", "pkg/a.py", 30, "first"),
+            Finding("rule-a", "pkg/a.py", 90, "first"),
+            Finding("rule-b", "pkg/b.py", 10, "second"),
+        ]
+        new, grandfathered, _ = match_baseline(moved, load_baseline(path))
+        assert new == []
+        assert len(grandfathered) == 3
+
+    def test_multiset_matching(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings()[:1])  # one entry for "first"
+        new, grandfathered, _ = match_baseline(
+            self._findings()[:2], load_baseline(path))
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+
+    def test_stale_entries_reported(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings())
+        new, grandfathered, stale = match_baseline([], load_baseline(path))
+        assert new == [] and grandfathered == []
+        assert sum(stale.values()) == 3
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestRegistry:
+    def test_select_by_name(self):
+        rules = get_rules(["determinism-wallclock"])
+        assert [r.name for r in rules] == ["determinism-wallclock"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            get_rules(["no-such-rule"])

@@ -1,0 +1,430 @@
+"""Per-rule fixture tests: each family must catch its seeded violation.
+
+Every test builds a tiny package tree under ``tmp_path``, seeds one
+violation, and asserts the rule fires on it — and a corrected twin stays
+clean. The root package is deliberately *not* named ``repro`` to prove
+the rules key on module-name suffixes, not the installed package.
+"""
+
+from textwrap import dedent
+
+from repro.analysis.engine import discover, run_rules
+from repro.analysis.rules import get_rules
+from repro.analysis.rules.config_coherence import (
+    ConfigUnknownFieldRule,
+    ConfigUnusedFieldRule,
+)
+from repro.analysis.rules.determinism import (
+    SetIterationRule,
+    UnseededRngRule,
+    WallClockRule,
+)
+from repro.analysis.rules.hotpath import AttrOutsideInitRule, MissingSlotsRule
+from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.stats_parity import StatsParityRule
+
+PKG = {
+    "pkg/__init__.py": "",
+    "pkg/utils/__init__.py": "",
+    "pkg/simulator/__init__.py": "",
+    "pkg/workloads/__init__.py": "",
+    "pkg/frontend/__init__.py": "",
+    "pkg/branch/__init__.py": "",
+    "pkg/core/__init__.py": "",
+    "pkg/experiments/__init__.py": "",
+    "pkg/reporting/__init__.py": "",
+}
+
+
+def lint(tmp_path, files, rules):
+    merged = dict(PKG)
+    merged.update(files)
+    for rel, source in merged.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(source))
+    project = discover([tmp_path], root=tmp_path)
+    return run_rules(project, rules)
+
+
+def rules_fired(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestDeterminism:
+    def test_wallclock_in_stat_unit(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/clock.py": "import time\nt = time.time()\n",
+        }, [WallClockRule()])
+        assert rules_fired(findings) == ["determinism-wallclock"]
+
+    def test_wallclock_bare_reference(self, tmp_path):
+        # default_factory=time.time never *calls* at def time but is
+        # exactly as nondeterministic — must still fire
+        findings = lint(tmp_path, {
+            "pkg/simulator/rec.py": """\
+                import time
+                from dataclasses import dataclass, field
+
+                @dataclass
+                class R:
+                    started: float = field(default_factory=time.time)
+            """,
+        }, [WallClockRule()])
+        assert rules_fired(findings) == ["determinism-wallclock"]
+
+    def test_wallclock_fine_outside_stat_units(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/reporting/timer.py": "import time\nt = time.time()\n",
+        }, [WallClockRule()])
+        assert findings == []
+
+    def test_unseeded_rng(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/core/jitter.py": """\
+                import random
+                x = random.random()
+                r = random.Random()
+            """,
+        }, [UnseededRngRule()])
+        assert len(findings) == 2
+        assert rules_fired(findings) == ["determinism-unseeded-rng"]
+
+    def test_seeded_rng_is_fine(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/core/jitter.py": """\
+                import random
+                r = random.Random(1234)
+                x = r.random()
+            """,
+        }, [UnseededRngRule()])
+        assert findings == []
+
+    def test_set_iteration(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/frontend/scan.py": """\
+                def f(lines):
+                    live = set(lines)
+                    total = 0
+                    for line in live:
+                        total += line
+                    return total
+            """,
+        }, [SetIterationRule()])
+        assert rules_fired(findings) == ["determinism-set-iteration"]
+
+    def test_sorted_set_iteration_is_fine(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/frontend/scan.py": """\
+                def f(lines):
+                    live = set(lines)
+                    return [line for line in sorted(live)]
+            """,
+        }, [SetIterationRule()])
+        assert findings == []
+
+    def test_set_attr_iteration(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/branch/track.py": """\
+                class Tracker:
+                    def __init__(self):
+                        self.seen = set()
+
+                    def dump(self):
+                        return [x for x in self.seen]
+            """,
+        }, [SetIterationRule()])
+        assert rules_fired(findings) == ["determinism-set-iteration"]
+
+
+class TestLayering:
+    def test_workloads_must_not_import_simulator(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/runner.py": "X = 1\n",
+            "pkg/workloads/gen.py": "from pkg.simulator.runner import X\n",
+        }, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        assert findings[0].path == "pkg/workloads/gen.py"
+
+    def test_relative_import_resolved(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/experiments/driver.py": "Y = 2\n",
+            "pkg/frontend/fetch.py": "from ..experiments.driver import Y\n",
+        }, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        assert "experiments" in findings[0].message
+
+    def test_root_facade_import_flagged(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/core/engine.py": "import pkg\n",
+        }, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        assert "facade" in findings[0].message
+
+    def test_allowed_edges_are_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/utils/helpers.py": "Z = 3\n",
+            "pkg/workloads/gen.py": "from pkg.utils.helpers import Z\n",
+            "pkg/frontend/fetch.py": "from pkg.workloads.gen import Z\n",
+            "pkg/experiments/driver.py": "from pkg.frontend.fetch import Z\n",
+        }, [LayeringRule()])
+        assert findings == []
+
+
+class TestHotPath:
+    def test_per_event_class_without_slots(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/branch/btb.py": """\
+                class Entry:
+                    def __init__(self, tag):
+                        self.tag = tag
+
+                class Table:
+                    def __init__(self):
+                        self.rows = {}
+
+                    def insert(self, tag):
+                        self.rows[tag] = Entry(tag)
+            """,
+        }, [MissingSlotsRule()])
+        assert rules_fired(findings) == ["hotpath-missing-slots"]
+        assert "Entry" in findings[0].message
+
+    def test_slotted_class_is_fine(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/branch/btb.py": """\
+                class Entry:
+                    __slots__ = ("tag",)
+
+                    def __init__(self, tag):
+                        self.tag = tag
+
+                class Table:
+                    def insert(self, tag):
+                        return Entry(tag)
+            """,
+        }, [MissingSlotsRule()])
+        assert findings == []
+
+    def test_slotted_dataclass_idiom_is_fine(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/branch/btb.py": """\
+                from dataclasses import dataclass
+                from pkg.utils import SLOTTED
+
+                @dataclass(**SLOTTED)
+                class Entry:
+                    tag: int
+
+                class Table:
+                    def insert(self, tag):
+                        return Entry(tag)
+            """,
+        }, [MissingSlotsRule()])
+        assert findings == []
+
+    def test_manager_built_in_init_is_exempt(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/branch/btb.py": """\
+                class Predictor:
+                    def __init__(self):
+                        self.table = {}
+
+                class Machine:
+                    def __init__(self):
+                        self.pred = Predictor()
+            """,
+        }, [MissingSlotsRule()])
+        assert findings == []
+
+    def test_attr_outside_init(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/memory/block.py": """\
+                class Block:
+                    __slots__ = ("line", "state")
+
+                    def __init__(self, line):
+                        self.line = line
+                        self.state = 0
+
+                    def touch(self):
+                        self.extra_note = 1
+            """,
+            "pkg/memory/__init__.py": "",
+        }, [AttrOutsideInitRule()])
+        assert rules_fired(findings) == ["hotpath-attr-outside-init"]
+        assert "extra_note" in findings[0].message
+
+
+class TestStatsParity:
+    MACHINE_OK = """\
+        class Machine:
+            def run(self, n):
+                st = self.stats
+                st.cycles += 1
+                st.instructions += 1
+
+            def _fast_forward(self, k):
+                self.stats.cycles += k
+    """
+
+    STATS = """\
+        class SimulationStats:
+            cycles: int = 0
+            instructions: int = 0
+    """
+
+    def test_counter_missing_from_fast_forward(self, tmp_path):
+        # the acceptance-criteria scenario: a counter added to the
+        # per-cycle path but omitted from _fast_forward must be caught
+        findings = lint(tmp_path, {
+            "pkg/simulator/stats.py": """\
+                class SimulationStats:
+                    cycles: int = 0
+                    instructions: int = 0
+                    lost_cycles: int = 0
+            """,
+            "pkg/simulator/machine.py": """\
+                class Machine:
+                    def run(self, n):
+                        st = self.stats
+                        st.cycles += 1
+                        st.instructions += 1
+                        st.lost_cycles += 1
+
+                    def _fast_forward(self, k):
+                        self.stats.cycles += k
+            """,
+        }, [StatsParityRule()])
+        assert rules_fired(findings) == ["stats-parity-fast-forward"]
+        assert "lost_cycles" in findings[0].message
+        assert "_fast_forward" in findings[0].message
+
+    def test_stale_batch_update(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/stats.py": """\
+                class SimulationStats:
+                    cycles: int = 0
+                    instructions: int = 0
+                    old_counter: int = 0
+            """,
+            "pkg/simulator/machine.py": """\
+                class Machine:
+                    def run(self, n):
+                        st = self.stats
+                        st.cycles += 1
+
+                    def _fast_forward(self, k):
+                        self.stats.cycles += k
+                        self.stats.old_counter += k
+            """,
+        }, [StatsParityRule()])
+        assert rules_fired(findings) == ["stats-parity-fast-forward"]
+        assert "old_counter" in findings[0].message
+        assert "stale" in findings[0].message
+
+    def test_balanced_machine_is_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/stats.py": self.STATS,
+            "pkg/simulator/machine.py": self.MACHINE_OK,
+        }, [StatsParityRule()])
+        assert findings == []
+
+    def test_event_gated_counters_exempt(self, tmp_path):
+        # instructions is event-gated: mutated per-cycle, absent from
+        # _fast_forward, and that is correct
+        findings = lint(tmp_path, {
+            "pkg/simulator/stats.py": self.STATS,
+            "pkg/simulator/machine.py": self.MACHINE_OK,
+        }, [StatsParityRule()])
+        assert all("instructions" not in f.message for f in findings)
+        assert findings == []
+
+
+class TestConfigCoherence:
+    CONFIG = """\
+        class MachineConfig:
+            fetch_width: int = 4
+            decode_width: int = 4
+            dead_knob: int = 0
+    """
+
+    def test_unknown_attribute_read(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/config.py": self.CONFIG,
+            "pkg/experiments/sweep.py": """\
+                from pkg.simulator.config import MachineConfig
+
+                def f(cfg: MachineConfig):
+                    return cfg.fetch_witdh
+            """,
+        }, [ConfigUnknownFieldRule()])
+        assert rules_fired(findings) == ["config-unknown-field"]
+        assert "fetch_witdh" in findings[0].message
+
+    def test_unknown_constructor_keyword(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/config.py": self.CONFIG,
+            "pkg/experiments/sweep.py": """\
+                from pkg.simulator.config import MachineConfig
+
+                cfg = MachineConfig(fetch_wdith=8)
+            """,
+        }, [ConfigUnknownFieldRule()])
+        assert rules_fired(findings) == ["config-unknown-field"]
+        assert "fetch_wdith" in findings[0].message
+
+    def test_tracked_through_self_attribute(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/config.py": self.CONFIG,
+            "pkg/simulator/machine.py": """\
+                from pkg.simulator.config import MachineConfig
+
+                class Machine:
+                    def __init__(self, cfg: MachineConfig):
+                        self.cfg = cfg
+
+                    def step(self):
+                        c = self.cfg
+                        return c.decode_widht
+            """,
+        }, [ConfigUnknownFieldRule()])
+        assert rules_fired(findings) == ["config-unknown-field"]
+        assert "decode_widht" in findings[0].message
+
+    def test_unused_field_is_warning(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/config.py": self.CONFIG,
+            "pkg/simulator/machine.py": """\
+                from pkg.simulator.config import MachineConfig
+
+                def f(cfg: MachineConfig):
+                    return cfg.fetch_width + cfg.decode_width
+            """,
+        }, [ConfigUnusedFieldRule()])
+        assert rules_fired(findings) == ["config-unused-field"]
+        assert len(findings) == 1
+        assert "dead_knob" in findings[0].message
+        assert findings[0].severity == "warning"
+
+    def test_all_fields_used_is_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/config.py": self.CONFIG,
+            "pkg/simulator/machine.py": """\
+                from pkg.simulator.config import MachineConfig
+
+                def f(cfg: MachineConfig):
+                    return cfg.fetch_width + cfg.decode_width + cfg.dead_knob
+            """,
+        }, [ConfigUnusedFieldRule()])
+        assert findings == []
+
+
+class TestWholeRegistry:
+    def test_all_rules_run_together(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/clock.py": "import time\nt = time.time()\n",
+            "pkg/workloads/gen.py": "import pkg.simulator.clock\n",
+        }, get_rules())
+        assert "determinism-wallclock" in rules_fired(findings)
+        assert "layering-forbidden-import" in rules_fired(findings)

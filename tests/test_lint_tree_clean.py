@@ -1,0 +1,54 @@
+"""The shipped tree must lint clean — ``repro lint`` is a CI gate."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import load_baseline
+from repro.analysis.cli import run_lint
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestShippedTree:
+    def test_repro_lint_exits_clean(self):
+        out, err = io.StringIO(), io.StringIO()
+        code = run_lint([str(REPO / "src" / "repro")], out=out, err=err)
+        assert code == 0, f"lint findings on the shipped tree:\n{out.getvalue()}"
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = load_baseline(REPO / "lint_baseline.json")
+        assert sum(baseline.values()) == 0
+
+    def test_json_format(self):
+        out = io.StringIO()
+        code = run_lint(
+            [str(REPO / "src" / "repro")], fmt="json", out=out)
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["summary"]["errors"] == 0
+        assert payload["findings"] == []
+
+
+class TestCliWiring:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "determinism-wallclock",
+            "layering-forbidden-import",
+            "hotpath-missing-slots",
+            "stats-parity-fast-forward",
+            "config-unknown-field",
+        ):
+            assert name in out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--select", "bogus-rule"]) == 2
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "definitely/not/a/path"]) == 2
+
+    def test_lint_via_cli_on_tree(self, capsys):
+        assert main(["lint", str(REPO / "src" / "repro")]) == 0
