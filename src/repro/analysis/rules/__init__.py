@@ -1,10 +1,11 @@
 """Rule registry for ``repro lint``.
 
-Five rule families guard the properties the reproduction depends on:
+Six rule families guard the properties the reproduction depends on:
 determinism (no entropy on stat-affecting paths), layering (the
 architecture DAG), hot-path hygiene (``__slots__`` on per-event
-records), stats parity (the event-horizon bit-identity invariant), and
-config coherence (field reads match field definitions).
+records), stats parity (the event-horizon bit-identity invariant),
+config coherence (field reads match field definitions), and telemetry
+imports (hot paths see only the zero-overhead no-op handle).
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from repro.analysis.rules.determinism import (
 from repro.analysis.rules.hotpath import AttrOutsideInitRule, MissingSlotsRule
 from repro.analysis.rules.layering import LayeringRule
 from repro.analysis.rules.stats_parity import StatsParityRule
+from repro.analysis.rules.telemetry_imports import TelemetryNoopImportRule
 
 #: every registered rule, in report order
 ALL_RULES: List[Rule] = [
@@ -36,6 +38,7 @@ ALL_RULES: List[Rule] = [
     StatsParityRule(),
     ConfigUnknownFieldRule(),
     ConfigUnusedFieldRule(),
+    TelemetryNoopImportRule(),
 ]
 
 
@@ -67,6 +70,7 @@ __all__ = [
     "MissingSlotsRule",
     "SetIterationRule",
     "StatsParityRule",
+    "TelemetryNoopImportRule",
     "UnseededRngRule",
     "WallClockRule",
 ]

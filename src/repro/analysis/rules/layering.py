@@ -10,6 +10,12 @@ the drivers (``experiments``, ``reporting``, ``bench``, ``cli``), and
 ``workloads`` never import the simulator — workload generation must not
 be able to observe simulation state.
 
+``telemetry`` sits beside ``utils`` at the bottom so every layer may
+hold a telemetry handle; *which* telemetry module a hot path may import
+is further narrowed by the ``telemetry-noop-import`` rule (only
+``telemetry.handle``, the zero-overhead no-op side — see
+:mod:`repro.analysis.rules.telemetry_imports`).
+
 Units absent from the table (currently only ``cli`` and the root
 package's ``__init__``/``__main__`` facade) are unconstrained. Adding a
 new subpackage should come with a row here.
@@ -22,16 +28,21 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.analysis.engine import Finding, ModuleInfo, Project, Rule
 
-_MODEL_DEPS = frozenset({"utils", "workloads", "branch", "memory", "frontend"})
+_MODEL_DEPS = frozenset(
+    {"utils", "telemetry", "workloads", "branch", "memory", "frontend"}
+)
 
 #: unit -> units it may import (itself is always allowed)
 ALLOWED: Dict[str, FrozenSet[str]] = {
     "utils": frozenset(),
+    "telemetry": frozenset({"utils"}),
     "workloads": frozenset({"utils"}),
-    "memory": frozenset({"utils"}),
-    "backend": frozenset({"utils"}),
-    "branch": frozenset({"utils", "workloads"}),
-    "frontend": frozenset({"utils", "workloads", "branch", "memory"}),
+    "memory": frozenset({"utils", "telemetry"}),
+    "backend": frozenset({"utils", "telemetry"}),
+    "branch": frozenset({"utils", "telemetry", "workloads"}),
+    "frontend": frozenset(
+        {"utils", "telemetry", "workloads", "branch", "memory"}
+    ),
     "prefetchers": _MODEL_DEPS | frozenset({"core"}),
     "core": _MODEL_DEPS | frozenset({"prefetchers"}),
     "energy": frozenset({"utils", "core"}),
@@ -43,6 +54,7 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
     "experiments": frozenset(
         {
             "utils",
+            "telemetry",
             "workloads",
             "memory",
             "branch",

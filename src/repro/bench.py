@@ -20,6 +20,11 @@ Usage::
     python -m repro bench --quick          # small subset for CI smoke
     python -m repro bench --record-baseline benchmarks/bench_baseline.json
     python -m repro bench --check          # fail (exit 1) on >tolerance regression
+
+The bench refuses to run (exit 2) while ``REPRO_TELEMETRY=1`` is set:
+a score taken with the trace recorder attached measures telemetry
+overhead, not the simulator, and must never land in
+``BENCH_runner.json`` or a recorded baseline.
 """
 
 from __future__ import annotations
@@ -289,6 +294,16 @@ def record_baseline(cells: List[BenchCell], out_path, repeats: int = 2,
 # ----------------------------------------------------------------------
 def main(args) -> int:
     """Drive a bench run from parsed ``repro bench`` arguments."""
+    from repro.telemetry import telemetry_enabled
+
+    if telemetry_enabled():
+        # a bench score taken with the trace recorder attached measures
+        # telemetry overhead, not the simulator — refuse to record it
+        print("repro bench: REPRO_TELEMETRY is enabled; refusing to "
+              "benchmark with the trace recorder attached.\n"
+              "Bench scores must measure the simulator's zero-overhead "
+              "path — unset REPRO_TELEMETRY and rerun.", file=sys.stderr)
+        return 2
     cells = QUICK_CELLS if args.quick else DEFAULT_CELLS
     if args.cells:
         wanted = {name.strip() for name in args.cells.split(",")}

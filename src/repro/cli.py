@@ -10,7 +10,12 @@ Commands:
   ``BENCH_runner.json`` (see :mod:`repro.bench`);
 * ``manifest`` — print the summary of a suite run's JSON manifest;
 * ``workload`` — characterize a benchmark's instruction stream;
-* ``trace`` — record a workload trace to a file, or replay one;
+* ``trace`` — record/replay workload traces, or (``trace run``) simulate
+  with the telemetry recorder attached and export Chrome-trace JSON
+  (Perfetto-loadable) plus JSONL (see :mod:`repro.telemetry`);
+* ``diff`` — compare two run dumps / manifests / traces and name the
+  first diverging counter or event (exit 0 match, 1 diverged,
+  2 incomparable);
 * ``lint`` — run the AST determinism/architecture rules
   (see :mod:`repro.analysis`);
 * ``list`` — show the available benchmarks, policies, and figures.
@@ -63,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("benchmark", choices=BENCHMARK_NAMES)
     p_run.add_argument("policy", choices=sorted(POLICIES))
     _budget_args(p_run)
+    p_run.add_argument("--stats-out", default=None, metavar="PATH",
+                       help="also write the stats as a JSON run dump "
+                            "(comparable with 'repro diff')")
+    p_run.add_argument("--telemetry", action="store_true",
+                       help="attach the telemetry recorder (implies a fresh "
+                            "simulation) and include its summary in "
+                            "--stats-out")
 
     p_suite = sub.add_parser("suite", help="benchmark x policy grid")
     p_suite.add_argument("--benchmarks", default="all",
@@ -124,6 +136,34 @@ def build_parser() -> argparse.ArgumentParser:
     t_rep.add_argument("--instructions", type=int, default=100_000)
     t_rep.add_argument("--warmup", type=int, default=20_000)
     t_rep.add_argument("--seed", type=int, default=1)
+    t_run = tr_sub.add_parser(
+        "run", help="simulate with the telemetry recorder attached and "
+                    "export Chrome-trace + JSONL traces")
+    t_run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    t_run.add_argument("--policy", default="pdip_44",
+                       choices=sorted(POLICIES))
+    t_run.add_argument("--instructions", type=int,
+                       default=DEFAULT_INSTRUCTIONS)
+    t_run.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    t_run.add_argument("--seed", type=int, default=1)
+    t_run.add_argument("--out", default=None, metavar="PREFIX",
+                       help="output prefix for <PREFIX>.trace.json / "
+                            ".trace.jsonl / .run.json (default: "
+                            "<benchmark>-<policy>-s<seed>)")
+    t_run.add_argument("--capacity", type=int, default=None,
+                       help="event ring capacity (default: "
+                            "REPRO_TELEMETRY_CAPACITY env, else 65536)")
+    t_run.add_argument("--sample-every", type=int, default=None,
+                       help="keep every Nth event (default: "
+                            "REPRO_TELEMETRY_SAMPLE env, else 1)")
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two run dumps, manifests, or traces")
+    p_diff.add_argument("a", help="first artifact (JSON or .jsonl)")
+    p_diff.add_argument("b", help="second artifact")
+    p_diff.add_argument("--format", dest="format", default="text",
+                        choices=("text", "json"),
+                        help="report format (json for CI)")
 
     p_lint = sub.add_parser(
         "lint", help="run the AST determinism/architecture rules")
@@ -162,12 +202,50 @@ def _jobs_arg(parser: argparse.ArgumentParser) -> None:
                              "(default: REPRO_JOBS env, else serial)")
 
 
+def _run_dump(args: argparse.Namespace, stats, session=None,
+              trace=None) -> dict:
+    """JSON run dump: the artifact ``repro diff`` compares."""
+    dump: dict = {
+        "schema": 1,
+        "benchmark": args.benchmark,
+        "policy": args.policy,
+        "seed": args.seed,
+        "instructions": args.instructions,
+        "warmup": args.warmup,
+        "stats": dict(stats.counters()),
+    }
+    if session is not None:
+        dump["telemetry"] = session.summary()
+    if trace is not None:
+        dump["trace"] = trace
+    return dump
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one benchmark x policy."""
+    session = None
+    if args.telemetry:
+        from repro.telemetry import TelemetrySession
+
+        session = TelemetrySession.from_env()
     stats = run_benchmark(args.benchmark, args.policy,
                           instructions=args.instructions,
                           warmup=args.warmup, seed=args.seed,
-                          use_cache=not args.no_cache)
+                          use_cache=not args.no_cache,
+                          telemetry=session)
+    if args.stats_out:
+        import json
+        from pathlib import Path
+
+        out = Path(args.stats_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with open(out, "w") as fh:
+            # no sort_keys: the stats dict's declaration order (pipeline
+            # order) is what makes diff's "first diverging counter" useful
+            json.dump(_run_dump(args, stats, session=session), fh,
+                      indent=1)
+            fh.write("\n")
+        print(f"run dump: {out}")
     td = stats.topdown
     print(f"{args.benchmark} / {args.policy}")
     print(f"  IPC        {stats.ipc:.3f}")
@@ -275,12 +353,58 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    """``repro trace run``: simulate with telemetry, export both formats."""
+    import json
+    import os
+
+    from repro.telemetry import TelemetrySession, export_recorder
+    from repro.telemetry.recorder import DEFAULT_CAPACITY
+
+    capacity = (args.capacity if args.capacity is not None
+                else int(os.environ.get("REPRO_TELEMETRY_CAPACITY",
+                                        str(DEFAULT_CAPACITY))))
+    sample = (args.sample_every if args.sample_every is not None
+              else int(os.environ.get("REPRO_TELEMETRY_SAMPLE", "1")))
+    session = TelemetrySession(capacity=capacity, sample_every=sample)
+    stats = run_benchmark(args.benchmark, args.policy,
+                          instructions=args.instructions,
+                          warmup=args.warmup, seed=args.seed,
+                          telemetry=session)
+    prefix = args.out or "%s-%s-s%d" % (args.benchmark, args.policy,
+                                        args.seed)
+    meta = {"benchmark": args.benchmark, "policy": args.policy,
+            "seed": args.seed, "instructions": args.instructions,
+            "warmup": args.warmup}
+    paths = export_recorder(session.recorder, prefix, meta=meta)
+    run_path = str(prefix) + ".run.json"
+    with open(run_path, "w") as fh:
+        # no sort_keys: preserve the stats dict's pipeline-order keys
+        # (diff names the *first* diverging counter in this order)
+        json.dump(_run_dump(args, stats, session=session, trace=paths),
+                  fh, indent=1)
+        fh.write("\n")
+    summary = session.recorder.summary()
+    print(f"{args.benchmark} / {args.policy} seed={args.seed}: "
+          f"{stats.summary()}")
+    print(f"  events     {summary['events_offered']} offered, "
+          f"{summary['events_retained']} retained "
+          f"(ring dropped {summary['events_dropped_ring']}, "
+          f"sampled out {summary['events_sampled_out']})")
+    print(f"  chrome     {paths['chrome']}   (load in ui.perfetto.dev)")
+    print(f"  jsonl      {paths['jsonl']}")
+    print(f"  run dump   {run_path}   (compare with 'repro diff')")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
-    """``repro trace``: record or replay traces."""
+    """``repro trace``: record/replay traces or run with telemetry."""
     from repro.workloads.generator import generate_layout
     from repro.workloads.trace import TraceReplayer, record
     from repro.workloads.walker import PathWalker
 
+    if args.trace_command == "run":
+        return _cmd_trace_run(args)
     profile = get_profile(args.benchmark)
     layout = generate_layout(profile, seed=args.seed)
     if args.trace_command == "record":
@@ -303,6 +427,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
     stats = machine.run(args.instructions, warmup=args.warmup)
     print(f"replayed {args.path}: {stats.summary()}")
     return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """``repro diff``: compare two run artifacts (see repro.telemetry.diff)."""
+    import json
+
+    from repro.telemetry import diff_paths
+
+    report = diff_paths(args.a, args.b)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -337,6 +475,7 @@ COMMANDS = {
     "manifest": cmd_manifest,
     "workload": cmd_workload,
     "trace": cmd_trace,
+    "diff": cmd_diff,
     "lint": cmd_lint,
     "list": cmd_list,
 }

@@ -19,6 +19,7 @@ from repro.core.pdip_table import PDIPTable
 from repro.frontend.ftq import FTQEntry
 from repro.frontend.prefetch_queue import PrefetchQueue
 from repro.prefetchers.base import Prefetcher
+from repro.telemetry.handle import NULL_RECORDER
 from repro.utils import derive_rng
 
 
@@ -67,6 +68,8 @@ class PDIPController(Prefetcher):
         self._use_path = self.config.use_path_info
 
         self._path_history: list = []  # last branch block lines (FTQ order)
+        #: telemetry handle (no-op unless a TelemetrySession attaches)
+        self.tel = NULL_RECORDER
         self.candidate_events = 0
         self.qualified_events = 0
         self.inserted_events = 0
@@ -87,6 +90,7 @@ class PDIPController(Prefetcher):
         path = self._current_path() if self._use_path else None
         lookup = self.table.lookup
         request = self.pq.request
+        tel = self.tel
         for line in entry.lines:
             for target, ttype in lookup(line, path=path):
                 self.prefetch_requests += 1
@@ -94,7 +98,10 @@ class PDIPController(Prefetcher):
                     self.triggers_last_taken += 1
                 else:
                     self.triggers_mispredict += 1
-                request(target)
+                if tel.enabled:
+                    tel.emit("pdip_hit", cycle, trigger=line,
+                             target=target, ttype=ttype)
+                request(target, cycle)
 
     # ------------------------------------------------------------------
     # retire-side: candidate insertion
@@ -125,6 +132,10 @@ class PDIPController(Prefetcher):
             self.table.insert(event.trigger_line, event.line, ttype,
                               path=path)
             self.inserted_events += 1
+            tel = self.tel
+            if tel.enabled:
+                tel.emit("pdip_insert", cycle, trigger=event.trigger_line,
+                         line=event.line, ttype=ttype)
 
     # ------------------------------------------------------------------
     # path signature (Section 5.2 variant)

@@ -13,6 +13,7 @@ from collections import deque
 from typing import Deque
 
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.telemetry.handle import NULL_RECORDER
 
 
 class PrefetchQueue:
@@ -25,7 +26,7 @@ class PrefetchQueue:
 
     __slots__ = ("hierarchy", "capacity", "issue_width", "mshr_reserve",
                  "_q", "_queued", "requests", "dropped_full", "issued",
-                 "filtered_resident")
+                 "filtered_resident", "tel")
 
     def __init__(self, hierarchy: MemoryHierarchy, capacity: int = 40,
                  issue_width: int = 2, mshr_reserve: int = 2):
@@ -39,17 +40,29 @@ class PrefetchQueue:
         self.dropped_full = 0
         self.issued = 0
         self.filtered_resident = 0
+        #: telemetry handle (no-op unless a TelemetrySession attaches)
+        self.tel = NULL_RECORDER
 
     def __len__(self) -> int:
         return len(self._q)
 
-    def request(self, line: int) -> bool:
-        """Enqueue a prefetch for ``line``; False if dropped (PQ full/dup)."""
+    def request(self, line: int, cycle: int = 0) -> bool:
+        """Enqueue a prefetch for ``line``; False if dropped (PQ full/dup).
+
+        ``cycle`` only timestamps telemetry drop events; it does not
+        affect queueing.
+        """
         self.requests += 1
         if line in self._queued:
+            tel = self.tel
+            if tel.enabled:
+                tel.emit("pq_drop", cycle, line=line, reason="dup")
             return False
         if len(self._q) >= self.capacity:
             self.dropped_full += 1
+            tel = self.tel
+            if tel.enabled:
+                tel.emit("pq_drop", cycle, line=line, reason="full")
             return False
         self._q.append(line)
         self._queued.add(line)
@@ -66,6 +79,7 @@ class PrefetchQueue:
         probe = hierarchy.l1i.probe
         prefetch = hierarchy.prefetch_instruction
         reserve = self.mshr_reserve
+        tel = self.tel
         for _ in range(min(self.issue_width, len(q))):
             line = q.popleft()
             queued.discard(line)
@@ -75,6 +89,8 @@ class PrefetchQueue:
             if prefetch(line, cycle, mshr_reserve=reserve):
                 issued += 1
                 self.issued += 1
+                if tel.enabled:
+                    tel.emit("pq_issue", cycle, line=line)
         return issued
 
     def flush(self) -> None:

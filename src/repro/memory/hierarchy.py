@@ -28,6 +28,7 @@ from typing import Optional, Set
 from repro.memory.cache import AccessResult, Cache, CacheLineState
 from repro.memory.replacement import EmissaryPolicy, LRUPolicy, ReplacementPolicy
 from repro.memory.tlb import InstructionTLB
+from repro.telemetry.handle import NULL_RECORDER
 from repro.utils import SLOTTED
 
 
@@ -119,6 +120,8 @@ class MemoryHierarchy:
         self.fec_lines: Set[int] = set()
         #: lines ever targeted by a PDIP/EIP prefetch (coverage accounting)
         self.prefetched_lines: Set[int] = set()
+        #: telemetry handle (no-op unless a TelemetrySession attaches)
+        self.tel = NULL_RECORDER
 
         # -- statistics ------------------------------------------------------
         self.l1i_demand_accesses = 0
@@ -199,15 +202,22 @@ class MemoryHierarchy:
                 cycle + 1, False, False, False, "stall",
                 stalled_mshr=True)
         self.l1i_demand_misses += 1
+        tel = self.tel
         if self.fec_ideal and line in self.fec_lines:
             ready = cycle + self._l1_hit + walk
             self._fill_l1(line, ready, source="fetch")
+            if tel.enabled:
+                tel.emit("l1i_miss", cycle, line=line,
+                         served_by="fec_ideal", ready=ready)
             return InstructionFetchResult(
                 ready, False, True, False, "fec_ideal")
         latency, served_by = self._inner_latency(line, cycle,
                                                  is_instruction=True)
         ready = cycle + self._l1_hit + latency + walk
         self._fill_l1(line, ready, source="fetch")
+        if tel.enabled:
+            tel.emit("l1i_miss", cycle, line=line, served_by=served_by,
+                     ready=ready)
         return InstructionFetchResult(
             ready, False, True, False, served_by)
 
@@ -223,6 +233,9 @@ class MemoryHierarchy:
             return False
         if self.l1i.mshr_free(cycle) <= mshr_reserve:
             self.prefetches_dropped += 1
+            tel = self.tel
+            if tel.enabled:
+                tel.emit("pq_drop", cycle, line=line, reason="mshr")
             return False
         self.prefetches_issued += 1
         self.prefetched_lines.add(line)

@@ -98,7 +98,7 @@ class EIPPrefetcher(Prefetcher):
         for line in entry.lines:
             for dst in lookup(line):
                 self.prefetch_requests += 1
-                request(dst)
+                request(dst, cycle)
 
     # ------------------------------------------------------------------
     # commit-side: history + entangling

@@ -69,7 +69,7 @@ class NextLinePrefetcher(Prefetcher):
             if worth_get(line % worth_entries, 0) >= threshold:
                 for delta in range(1, degree + 1):
                     self.prefetch_requests += 1
-                    request(line + delta)
+                    request(line + delta, cycle)
         self._last_line = last
 
     @property

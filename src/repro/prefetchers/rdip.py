@@ -96,7 +96,7 @@ class RDIPPrefetcher(Prefetcher):
         self.signature_switches += 1
         for line in self._lookup(signature):
             self.prefetch_requests += 1
-            self.pq.request(line)
+            self.pq.request(line, cycle)
 
     # -- retire side: training ---------------------------------------------
     def on_retire(self, entry: FTQEntry, cycle: int) -> None:

@@ -47,6 +47,7 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.prefetchers.base import NoPrefetcher, Prefetcher
 from repro.simulator.config import MachineConfig
 from repro.simulator.stats import COUNTER_FIELDS, SimulationStats
+from repro.telemetry.handle import NULL_RECORDER
 from repro.utils import (INSTRUCTION_SIZE, LINE_SHIFT, SLOTTED, derive_rng,
                          line_of)
 from repro.workloads.layout import BranchKind, CodeLayout
@@ -152,6 +153,11 @@ class Machine:
         self._head_admitted = False
         #: optional per-cycle observer (see repro.simulator.probe)
         self.probe = None
+        #: telemetry handle (repro.telemetry). The no-op NULL_RECORDER
+        #: unless a TelemetrySession attaches a live recorder; unlike a
+        #: probe, telemetry is horizon-aware (``_fast_forward`` emits a
+        #: batch event) and never disables cycle skipping.
+        self.tel = NULL_RECORDER
         #: event-horizon cycle skipping (DESIGN.md §10). On by default;
         #: automatically bypassed while a probe is attached so observers
         #: see every cycle. Set ``probe_coarse=True`` to keep skipping
@@ -353,6 +359,10 @@ class Machine:
         self.cycle = cycle + k
         self.fast_forwarded_cycles += k
         self.fast_forwards += 1
+        tel = self.tel
+        if tel.enabled:
+            # one batch event per jump keeps the trace horizon-aware
+            tel.emit("fast_forward", cycle, cycles=k)
         if self.probe is not None:
             # probe_coarse mode: one observation covering the whole jump
             self.probe(self)
@@ -374,6 +384,10 @@ class Machine:
         self._last_resteer_kind = pr.kind
         self._last_resteer_trigger = pr.trigger_line
         self._pending_resteer = None
+        tel = self.tel
+        if tel.enabled:
+            tel.emit("resteer", cycle, resteer_kind=pr.kind.name,
+                     trigger_line=pr.trigger_line)
         self.stats.resteers += 1
         if pr.kind is MispredictKind.BTB_MISS:
             self.stats.resteers_btb_miss += 1
@@ -650,10 +664,18 @@ class Machine:
             last_taken_line=self._last_taken_line)
         if events:
             self.stats.fec_starvation_cycles += entry.starvation_cycles
+            tel = self.tel
+            threshold = self.fec.high_cost_threshold
             for event in events:
                 self.hierarchy.promote_fec(event.line)
                 if event.line in self.hierarchy.prefetched_lines:
                     self.stats.fec_covered_events += 1
+                if tel.enabled:
+                    tel.emit("fec", cycle, line=event.line,
+                             trigger_line=event.trigger_line,
+                             trigger_type=event.trigger_type.value,
+                             starvation=event.starvation_cycles,
+                             high_cost=event.is_high_cost(threshold))
             self.stats.fec_events += len(events)
         self.prefetcher.on_fec_events(events, cycle)
         self.prefetcher.on_retire(entry, cycle)

@@ -30,7 +30,9 @@ from repro.simulator import cache as result_cache
 from repro.simulator.config import MachineConfig
 
 #: manifest schema version (bump when the JSON layout changes)
-SCHEMA_VERSION = 1
+#: v2: cells carry ``stats`` counter digests (diffable via ``repro diff``)
+#: and, when REPRO_TELEMETRY is on, per-cell ``telemetry`` summaries
+SCHEMA_VERSION = 2
 
 
 def manifest_dir() -> Path:
@@ -71,6 +73,12 @@ class CellRecord:
     attempts: int = 1   #: 1 = first try; >1 means transient retries
     status: str = "ok"  #: "ok" or "failed"
     error: str = ""
+    #: counter digest of the cell's stats (schema v2); lets
+    #: ``repro diff`` compare two manifests cell-by-cell
+    stats: Optional[Dict[str, float]] = None
+    #: telemetry summary (ring accounting + metric snapshot) when the
+    #: run recorded with REPRO_TELEMETRY=1; None otherwise
+    telemetry: Optional[Dict[str, object]] = None
 
 
 @dataclass

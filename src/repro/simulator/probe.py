@@ -9,6 +9,26 @@ sparklines, which makes the FDIP mechanism *visible*:
 >>> machine.probe = probe = TimelineProbe(sample_every=50)
 >>> machine.run(50_000, warmup=0)
 >>> print(probe.render())
+
+Event-horizon interaction (DESIGN.md §10/§12): probes and telemetry
+answer different questions and interact with cycle skipping differently.
+
+* **Probes** observe *every cycle* — attaching one automatically
+  disables event-horizon skipping so the observer sees each cycle,
+  unless ``machine.probe_coarse = True`` opts into one observation per
+  fast-forward jump (coarse sampling; skipping stays on).
+* **The telemetry recorder** (``machine.tel``, see
+  :mod:`repro.telemetry`) is *horizon-aware by design*: attaching it
+  never disables skipping. Emit sites fire only on discrete pipeline
+  events (resteers, misses, FEC qualifications, prefetch traffic), none
+  of which occur inside a skippable region, and ``_fast_forward`` emits
+  one batched ``fast_forward`` event per jump so the trace records
+  exactly where — and how far — the simulator skipped. Stats stay
+  bit-identical with telemetry attached or not.
+
+Rule of thumb: use a probe to ask "what does cycle-by-cycle occupancy
+look like?", telemetry to ask "what happened, in what order, and how do
+two runs differ?".
 """
 
 from __future__ import annotations

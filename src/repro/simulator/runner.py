@@ -89,11 +89,18 @@ def run_benchmark(benchmark: str, policy: str,
                   warmup: int = DEFAULT_WARMUP,
                   config: Optional[MachineConfig] = None,
                   seed: int = 1,
-                  use_cache: bool = True) -> SimulationStats:
+                  use_cache: bool = True,
+                  telemetry=None) -> SimulationStats:
     """Simulate one benchmark under one policy and return its stats.
 
     Results are memoized on disk (see :mod:`repro.simulator.cache`);
     pass ``use_cache=False`` to force a fresh simulation.
+
+    ``telemetry`` (a :class:`repro.telemetry.TelemetrySession`) attaches
+    a trace recorder for the duration of the run and harvests component
+    counters at detach. A telemetry run always simulates (the recorder
+    needs the events), so the cache *read* is bypassed — the stats are
+    bit-identical either way, so the result is still stored.
     """
     from repro.simulator import cache as result_cache
 
@@ -101,13 +108,19 @@ def run_benchmark(benchmark: str, policy: str,
     spec = get_policy(policy) if isinstance(policy, str) else policy
     key = result_cache.run_key(benchmark, spec, instructions, warmup, seed,
                                config)
-    if use_cache:
+    if use_cache and telemetry is None:
         hit = result_cache.load(key)
         if hit is not None:
             return hit
     layout = get_layout(benchmark, seed=seed)
     machine = build_machine(layout, profile, spec, config=config, seed=seed)
-    stats = machine.run(instructions, warmup=warmup)
+    if telemetry is not None:
+        telemetry.attach(machine)
+    try:
+        stats = machine.run(instructions, warmup=warmup)
+    finally:
+        if telemetry is not None:
+            telemetry.detach(machine)
     if use_cache:
         result_cache.store(key, stats)
     return stats
@@ -116,36 +129,50 @@ def run_benchmark(benchmark: str, policy: str,
 # ----------------------------------------------------------------------
 # grid execution
 # ----------------------------------------------------------------------
-def _simulate_cell(cell: tuple) -> Tuple[SimulationStats, float, int]:
+def _simulate_cell(cell: tuple
+                   ) -> Tuple[SimulationStats, float, int, Optional[dict]]:
     """Pool worker: simulate one cell, bypassing the on-disk cache.
 
     The parent already filtered cache hits and stores the result itself,
     so workers never touch the cache (no concurrent writes).
     ``cell`` is ``(benchmark, spec, instructions, warmup, config, seed)``.
+
+    When ``REPRO_TELEMETRY`` is on, each cell records through its own
+    :class:`~repro.telemetry.TelemetrySession` (sized by
+    ``REPRO_TELEMETRY_CAPACITY`` / ``REPRO_TELEMETRY_SAMPLE``) and the
+    session summary rides back as the fourth tuple element for the
+    manifest; otherwise that element is None and the simulation takes
+    the zero-overhead null-handle path.
     """
+    from repro.telemetry import TelemetrySession, telemetry_enabled
+
     benchmark, spec, instructions, warmup, config, seed = cell
+    session = TelemetrySession.from_env() if telemetry_enabled() else None
     # wall time is manifest metadata, never simulation state
     t0 = time.perf_counter()  # repro: lint-ignore[determinism-wallclock]
     stats = run_benchmark(benchmark, spec, instructions=instructions,
                           warmup=warmup, config=config, seed=seed,
-                          use_cache=False)
+                          use_cache=False, telemetry=session)
     # repro: lint-ignore[determinism-wallclock]
-    return stats, time.perf_counter() - t0, os.getpid()
+    wall = time.perf_counter() - t0
+    summary = session.summary() if session is not None else None
+    return stats, wall, os.getpid(), summary
 
 
 def _execute_cells(pending: Dict[str, tuple], jobs: int, retries: int,
-                   ) -> Tuple[Dict[str, Tuple[SimulationStats, float, str]],
+                   ) -> Tuple[Dict[str, Tuple[SimulationStats, float, str,
+                                              Optional[dict]]],
                               Dict[str, int], Dict[str, str]]:
     """Run the cache-miss cells, in-process (``jobs==1``) or in a pool.
 
     Returns ``(results, attempts, errors)`` where ``results`` maps
-    run-key to ``(stats, wall_time, worker_id)``. Cells that raised are
-    retried up to ``retries`` extra rounds with doubling backoff (a
-    fresh pool each round, so a broken pool is also recovered); cells
-    still failing land in ``errors``.
+    run-key to ``(stats, wall_time, worker_id, telemetry_summary)``.
+    Cells that raised are retried up to ``retries`` extra rounds with
+    doubling backoff (a fresh pool each round, so a broken pool is also
+    recovered); cells still failing land in ``errors``.
     """
     remaining = dict(pending)
-    results: Dict[str, Tuple[SimulationStats, float, str]] = {}
+    results: Dict[str, Tuple[SimulationStats, float, str, Optional[dict]]] = {}
     attempts: Dict[str, int] = {key: 0 for key in pending}
     errors: Dict[str, str] = {}
     for round_no in range(retries + 1):
@@ -159,8 +186,8 @@ def _execute_cells(pending: Dict[str, tuple], jobs: int, retries: int,
             for key, cell in remaining.items():
                 attempts[key] += 1
                 try:
-                    stats, wall, _pid = _simulate_cell(cell)
-                    results[key] = (stats, wall, "main")
+                    stats, wall, _pid, tel = _simulate_cell(cell)
+                    results[key] = (stats, wall, "main", tel)
                 except Exception as exc:  # noqa: BLE001 - retried below
                     failed[key] = cell
                     errors[key] = repr(exc)
@@ -172,8 +199,8 @@ def _execute_cells(pending: Dict[str, tuple], jobs: int, retries: int,
                     key = futures[future]
                     attempts[key] += 1
                     try:
-                        stats, wall, pid = future.result()
-                        results[key] = (stats, wall, "pid:%d" % pid)
+                        stats, wall, pid, tel = future.result()
+                        results[key] = (stats, wall, "pid:%d" % pid, tel)
                     except Exception as exc:  # noqa: BLE001 - retried below
                         failed[key] = remaining[key]
                         errors[key] = repr(exc)
@@ -203,10 +230,11 @@ def run_suite_parallel(policies: Sequence[str],
     (``jobs`` resolves via :func:`resolve_jobs`, default
     ``os.cpu_count()``); failed cells are retried up to ``retries``
     extra rounds with doubling backoff. Every run writes a JSON manifest
-    (per-cell timing, cache hit/miss, worker id — see
-    :mod:`repro.simulator.manifest`); pass an explicit ``manifest`` to
-    accumulate several grids into one document, which the caller then
-    writes.
+    (per-cell timing, cache hit/miss, worker id, stats counter digest,
+    and — under ``REPRO_TELEMETRY=1`` — a per-cell telemetry summary;
+    see :mod:`repro.simulator.manifest`); pass an explicit ``manifest``
+    to accumulate several grids into one document, which the caller then
+    writes. Two manifests compare cell-by-cell with ``repro diff``.
     """
     from repro.simulator import cache as result_cache
 
@@ -247,12 +275,13 @@ def run_suite_parallel(policies: Sequence[str],
     results: Dict[str, Dict[str, SimulationStats]] = {b: {} for b in names}
     for key, grid_slots in slots.items():
         bench, _ = grid_slots[0]
+        telemetry = None
         if key in hits:
             stats, wall, worker, status, error = (
                 hits[key], 0.0, "cache", "ok", "")
             n_attempts = 0
         elif key in computed:
-            stats, wall, worker = computed[key]
+            stats, wall, worker, telemetry = computed[key]
             status, error = "ok", ""
             n_attempts = attempts[key]
             result_cache.store(key, stats)
@@ -260,6 +289,7 @@ def run_suite_parallel(policies: Sequence[str],
             stats, wall, worker = None, 0.0, "none"
             status, error = "failed", errors.get(key, "unknown")
             n_attempts = attempts.get(key, 0)
+        digest = dict(stats.counters()) if stats is not None else None
         for i, (bench, policy_name) in enumerate(grid_slots):
             if stats is not None:
                 results[bench][policy_name] = stats
@@ -275,7 +305,8 @@ def run_suite_parallel(policies: Sequence[str],
                 cache_hit=key in hits or deduped,
                 wall_time=0.0 if deduped else wall,
                 worker="dedup" if deduped and key not in hits else worker,
-                attempts=n_attempts, status=status, error=error))
+                attempts=n_attempts, status=status, error=error,
+                stats=digest, telemetry=None if deduped else telemetry))
 
     if own_manifest:
         manifest.write()

@@ -1,0 +1,39 @@
+"""Telemetry subsystem: structured tracing, metrics, run-diff triage.
+
+Three cooperating pieces (DESIGN.md §12):
+
+* :mod:`repro.telemetry.handle` — the zero-overhead no-op handle hot
+  paths hold when telemetry is off (the only telemetry module the
+  simulator's per-cycle code may import; enforced by ``repro lint``);
+* :mod:`repro.telemetry.recorder` / :mod:`repro.telemetry.registry` /
+  :mod:`repro.telemetry.export` / :mod:`repro.telemetry.session` — the
+  live side: typed events into a bounded ring, named metrics, Chrome
+  trace / JSONL export, machine attach/detach;
+* :mod:`repro.telemetry.diff` — ``repro diff A B``: which counters
+  diverged between two runs, and (with traces) the first event where
+  the executions stopped agreeing.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.diff import DiffReport, diff_paths
+from repro.telemetry.events import EVENT_KINDS
+from repro.telemetry.export import export_recorder, read_jsonl, to_chrome
+from repro.telemetry.handle import NULL_RECORDER, telemetry_enabled
+from repro.telemetry.recorder import TraceRecorder
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.session import TelemetrySession
+
+__all__ = [
+    "DiffReport",
+    "EVENT_KINDS",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "TelemetrySession",
+    "TraceRecorder",
+    "diff_paths",
+    "export_recorder",
+    "read_jsonl",
+    "telemetry_enabled",
+    "to_chrome",
+]

@@ -1,0 +1,88 @@
+"""The trace event schema: every kind the simulator emits, documented.
+
+One trace event is a 4-tuple ``(seq, cycle, kind, args)``: a global
+sequence number (assigned by the recorder, pre-sampling, so two runs can
+be aligned event-by-event even when the ring dropped different
+prefixes), the simulated cycle, a kind from :data:`EVENT_KINDS`, and a
+small dict of kind-specific arguments.
+
+The schema is deliberately closed: emitting an unknown kind raises in
+the recorder, so a typo at an emit site fails the first telemetry run
+instead of producing a silently unnamed trace row. Adding an event means
+adding a row here (with its argument names) and a paragraph to
+DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: kind -> (argument names, human description)
+EVENT_KINDS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "resteer": (
+        # named resteer_kind (not "kind") so it can be passed as a
+        # keyword through ``emit(kind, cycle, **args)``
+        ("resteer_kind", "trigger_line"),
+        "a matured front-end resteer flushed the FTQ and redirected the IAG",
+    ),
+    "l1i_miss": (
+        ("line", "served_by", "ready"),
+        "a demand instruction fetch missed the L1-I (MSHR allocated)",
+    ),
+    "fec": (
+        ("line", "trigger_line", "trigger_type", "starvation", "high_cost"),
+        "a line qualified as front-end critical at block retirement",
+    ),
+    "pdip_hit": (
+        ("trigger", "target", "ttype"),
+        "a PDIP table lookup hit: a trigger block requested a prefetch",
+    ),
+    "pdip_insert": (
+        ("trigger", "line", "ttype"),
+        "a qualifying FEC event was inserted into the PDIP table",
+    ),
+    "pq_issue": (
+        ("line",),
+        "the prefetch queue forwarded a request into the hierarchy",
+    ),
+    "pq_drop": (
+        ("line", "reason"),
+        "a prefetch request was dropped (queue full / duplicate filter)",
+    ),
+    "fast_forward": (
+        ("cycles",),
+        "the event-horizon fast path skipped this many provably-idle "
+        "cycles in one jump (the trace stays horizon-aware: one batch "
+        "event replaces the per-cycle stream)",
+    ),
+}
+
+#: Chrome-trace thread ids: group events by pipeline area so Perfetto
+#: renders one track per stage instead of one interleaved stream
+STAGE_OF_KIND: Dict[str, str] = {
+    "resteer": "frontend",
+    "l1i_miss": "memory",
+    "fec": "retire",
+    "pdip_hit": "prefetch",
+    "pdip_insert": "prefetch",
+    "pq_issue": "prefetch",
+    "pq_drop": "prefetch",
+    "fast_forward": "sim",
+}
+
+STAGES: Tuple[str, ...] = ("frontend", "memory", "prefetch", "retire", "sim")
+
+
+def validate_args(kind: str, args: Dict[str, object]) -> None:
+    """Raise ``ValueError`` on an unknown kind or unknown argument name."""
+    try:
+        names, _ = EVENT_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            "unknown telemetry event kind %r; known: %s"
+            % (kind, ", ".join(sorted(EVENT_KINDS))))
+    unknown = set(args) - set(names)
+    if unknown:
+        raise ValueError(
+            "event %r does not take argument(s) %s (schema: %s)"
+            % (kind, ", ".join(sorted(unknown)), ", ".join(names)))

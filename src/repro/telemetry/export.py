@@ -1,0 +1,119 @@
+"""Trace export: Chrome ``trace_event`` JSON (Perfetto) and JSONL.
+
+Chrome format: one document with a ``traceEvents`` array of instant
+events (``ph: "i"``), ``ts`` in simulated cycles (Perfetto displays them
+as microseconds — the absolute unit is meaningless for a cycle-level
+simulator, the *relative* timeline is what matters), one synthetic
+thread per pipeline stage (:data:`repro.telemetry.events.STAGE_OF_KIND`)
+so resteers, misses, and prefetch traffic land on separate tracks.
+Load with https://ui.perfetto.dev or ``chrome://tracing``.
+
+JSONL format: a ``_meta`` header line followed by one
+``{"seq", "cycle", "kind", "args"}`` object per event — the format
+:mod:`repro.telemetry.diff` aligns run pairs on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.telemetry.events import STAGE_OF_KIND, STAGES
+from repro.telemetry.recorder import Event, TraceRecorder
+
+#: schema tag written into both export headers
+TRACE_SCHEMA = 1
+
+
+def to_chrome(events: Iterable[Event],
+              meta: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Render events as a Chrome ``trace_event`` JSON document."""
+    pid = 1
+    tids = {stage: tid for tid, stage in enumerate(STAGES, start=1)}
+    trace_events: List[Dict[str, object]] = [
+        {"name": "process_name", "ph": "M", "pid": pid,
+         "args": {"name": "repro simulation"}},
+    ]
+    for stage in STAGES:
+        trace_events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid,
+             "tid": tids[stage], "args": {"name": stage}})
+    for seq, cycle, kind, args in events:
+        row: Dict[str, object] = dict(args)
+        row["seq"] = seq
+        trace_events.append({
+            "name": kind,
+            "ph": "i",
+            "s": "t",
+            "ts": cycle,
+            "pid": pid,
+            "tid": tids[STAGE_OF_KIND.get(kind, "sim")],
+            "args": row,
+        })
+    doc: Dict[str, object] = {
+        "schema": TRACE_SCHEMA,
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        doc["metadata"] = dict(meta)
+    return doc
+
+
+def write_chrome(events: Iterable[Event], path,
+                 meta: Optional[Dict[str, object]] = None) -> Path:
+    """Write the Chrome-trace document; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(to_chrome(events, meta=meta), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def write_jsonl(events: Iterable[Event], path,
+                meta: Optional[Dict[str, object]] = None) -> Path:
+    """Write the JSONL stream (``_meta`` header + one event per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header: Dict[str, object] = {"_meta": True, "schema": TRACE_SCHEMA}
+    if meta:
+        header.update(meta)
+    with open(path, "w") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for seq, cycle, kind, args in events:
+            fh.write(json.dumps(
+                {"seq": seq, "cycle": cycle, "kind": kind, "args": args},
+                sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path) -> List[Event]:
+    """Load a JSONL trace back into event tuples (header skipped)."""
+    events: List[Event] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("_meta"):
+                continue
+            events.append((row["seq"], row["cycle"], row["kind"],
+                           dict(row.get("args", {}))))
+    return events
+
+
+def export_recorder(recorder: TraceRecorder, out_prefix,
+                    meta: Optional[Dict[str, object]] = None
+                    ) -> Dict[str, str]:
+    """Write both formats for one recorder.
+
+    Returns ``{"chrome": path, "jsonl": path}`` with string paths,
+    suitable for embedding into a run dump.
+    """
+    events = recorder.events()
+    chrome = write_chrome(events, str(out_prefix) + ".trace.json", meta=meta)
+    jsonl = write_jsonl(events, str(out_prefix) + ".trace.jsonl", meta=meta)
+    return {"chrome": str(chrome), "jsonl": str(jsonl)}

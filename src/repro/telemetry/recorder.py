@@ -1,0 +1,102 @@
+"""Bounded structured trace recorder.
+
+The recorder is the ``enabled=True`` counterpart of
+:class:`repro.telemetry.handle.NullRecorder`: components emit typed
+events (schema: :mod:`repro.telemetry.events`) into a ring buffer of
+``capacity`` events — old events fall off the front, so a long run keeps
+the *tail* of its history, which is the part a divergence triage wants.
+
+Sampling keeps 1-in-``sample_every`` events. It is strictly
+deterministic — a modulo over the global sequence number, never an RNG
+draw — because the recorder must not perturb simulation state: the same
+``(layout, profile, seed)`` run produces the same trace whether or not
+anyone is watching, and stats stay bit-identical either way.
+
+Per-kind counts are tracked for *every* offered event (before sampling
+and before ring eviction), so the summary is exact even when the ring
+kept only a suffix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.telemetry.events import EVENT_KINDS
+
+#: default ring capacity (events, not cycles)
+DEFAULT_CAPACITY = 65536
+
+#: one recorded event: (seq, cycle, kind, args)
+Event = Tuple[int, int, str, Dict[str, object]]
+
+
+class TraceRecorder:
+    """Ring-buffered event recorder with deterministic sampling."""
+
+    __slots__ = ("capacity", "sample_every", "seq", "dropped",
+                 "sampled_out", "kind_counts", "_ring", "_validate")
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 sample_every: int = 1, validate: bool = True):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        #: events offered (pre-sampling); doubles as the alignment key
+        self.seq = 0
+        #: events evicted from the ring by newer ones
+        self.dropped = 0
+        #: events skipped by sampling
+        self.sampled_out = 0
+        #: per-kind offered-event counts (exact, unaffected by the ring)
+        self.kind_counts: Dict[str, int] = {}
+        self._ring: Deque[Event] = deque()
+        self._validate = validate
+
+    def emit(self, kind: str, cycle: int, **args: object) -> None:
+        """Record one event (drop-in for ``NullRecorder.emit``)."""
+        if self._validate and kind not in EVENT_KINDS:
+            raise ValueError(
+                "unknown telemetry event kind %r; known: %s"
+                % (kind, ", ".join(sorted(EVENT_KINDS))))
+        seq = self.seq
+        self.seq = seq + 1
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        if self.sample_every > 1 and seq % self.sample_every:
+            self.sampled_out += 1
+            return
+        ring = self._ring
+        if len(ring) >= self.capacity:
+            ring.popleft()
+            self.dropped += 1
+        ring.append((seq, cycle, kind, args))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self, kind: Optional[str] = None) -> List[Event]:
+        """The retained events in emission order (optionally one kind)."""
+        if kind is None:
+            return list(self._ring)
+        return [e for e in self._ring if e[2] == kind]
+
+    def clear(self) -> None:
+        """Drop retained events; counts and ``seq`` keep accumulating."""
+        self._ring.clear()
+
+    def summary(self) -> Dict[str, object]:
+        """Exact accounting of what was offered, kept, and lost."""
+        return {
+            "events_offered": self.seq,
+            "events_retained": len(self._ring),
+            "events_dropped_ring": self.dropped,
+            "events_sampled_out": self.sampled_out,
+            "capacity": self.capacity,
+            "sample_every": self.sample_every,
+            "kind_counts": dict(sorted(self.kind_counts.items())),
+        }

@@ -1,0 +1,142 @@
+"""Named metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` hands out typed metric handles by name;
+components bump the handle, the registry owns the namespace and renders
+one flat snapshot for export and diffing. Names are dotted
+(``pq.issued``, ``l1i.misses``) so the snapshot sorts into sections.
+
+Handles are deliberately tiny slotted objects — with telemetry enabled
+they sit on warm (per-event, not per-cycle) paths; with telemetry
+disabled nothing ever constructs a registry at all (hot components see
+only :data:`repro.telemetry.handle.NULL_RECORDER`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+#: default histogram bucket upper bounds (latencies/cycle counts)
+DEFAULT_BUCKETS: Tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+
+class Counter:
+    """Monotonic named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1)."""
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-free, one count per bucket).
+
+    ``bounds`` are upper bounds of the finite buckets; observations
+    beyond the last bound land in the overflow bucket, so ``counts`` has
+    ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: Tuple[int, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Count ``value`` into its bucket."""
+        self.total += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form: bounds, per-bucket counts, total, sum."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Namespace of metric handles, one per name, kind-checked.
+
+    Asking for an existing name with a different kind raises — two
+    components silently sharing ``pq.issued`` as a counter *and* a gauge
+    is exactly the aliasing bug a registry exists to prevent.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: type, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                "metric %r is already registered as %s, not %s"
+                % (name, type(metric).__name__, kind.__name__))
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  bounds: Tuple[int, ...] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The handle for ``name``, or None."""
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat ``{name: value-or-histogram-dict}``, sorted by name."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.to_dict()
+            else:
+                out[name] = metric.value
+        return out

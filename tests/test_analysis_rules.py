@@ -22,6 +22,7 @@ from repro.analysis.rules.determinism import (
 from repro.analysis.rules.hotpath import AttrOutsideInitRule, MissingSlotsRule
 from repro.analysis.rules.layering import LayeringRule
 from repro.analysis.rules.stats_parity import StatsParityRule
+from repro.analysis.rules.telemetry_imports import TelemetryNoopImportRule
 
 PKG = {
     "pkg/__init__.py": "",
@@ -420,6 +421,62 @@ class TestConfigCoherence:
         assert findings == []
 
 
+class TestTelemetryImports:
+    def test_live_import_in_hot_module_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/core/engine.py":
+                "from pkg.telemetry.recorder import TraceRecorder\n",
+        }, [TelemetryNoopImportRule()])
+        assert rules_fired(findings) == ["telemetry-noop-import"]
+        assert "telemetry.handle" in findings[0].message
+
+    def test_package_facade_in_hot_module_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/memory/__init__.py": "",
+            "pkg/memory/cache.py":
+                "from pkg.telemetry import TelemetrySession\n",
+        }, [TelemetryNoopImportRule()])
+        assert rules_fired(findings) == ["telemetry-noop-import"]
+        assert "facade" in findings[0].message
+
+    def test_machine_module_counts_as_hot(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/simulator/machine.py":
+                "import pkg.telemetry.session\n",
+        }, [TelemetryNoopImportRule()])
+        assert rules_fired(findings) == ["telemetry-noop-import"]
+
+    def test_handle_import_is_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/frontend/pq.py":
+                "from pkg.telemetry.handle import NULL_RECORDER\n",
+            "pkg/simulator/machine.py":
+                "from pkg.telemetry.handle import NULL_RECORDER\n",
+        }, [TelemetryNoopImportRule()])
+        assert findings == []
+
+    def test_drivers_are_unconstrained(self, tmp_path):
+        # runner/experiments attach sessions — the live side is theirs
+        findings = lint(tmp_path, {
+            "pkg/simulator/runner.py":
+                "from pkg.telemetry import TelemetrySession\n",
+            "pkg/experiments/driver.py":
+                "from pkg.telemetry.diff import diff_paths\n",
+        }, [TelemetryNoopImportRule()])
+        assert findings == []
+
+    def test_layering_allows_the_handle_edge(self, tmp_path):
+        # the DAG row that makes the handle importable everywhere
+        findings = lint(tmp_path, {
+            "pkg/memory/__init__.py": "",
+            "pkg/memory/cache.py":
+                "from pkg.telemetry.handle import NULL_RECORDER\n",
+            "pkg/core/engine.py":
+                "from pkg.telemetry.handle import NULL_RECORDER\n",
+        }, [LayeringRule()])
+        assert findings == []
+
+
 class TestWholeRegistry:
     def test_all_rules_run_together(self, tmp_path):
         findings = lint(tmp_path, {
@@ -428,3 +485,10 @@ class TestWholeRegistry:
         }, get_rules())
         assert "determinism-wallclock" in rules_fired(findings)
         assert "layering-forbidden-import" in rules_fired(findings)
+
+    def test_telemetry_rule_in_registry(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/core/engine.py":
+                "from pkg.telemetry.session import TelemetrySession\n",
+        }, get_rules())
+        assert "telemetry-noop-import" in rules_fired(findings)

@@ -95,7 +95,8 @@ class TestWriteLoad:
         target = tmp_manifests / "sub" / "my.json"
         m = RunManifest()
         assert m.write(target) == target
-        assert json.loads(target.read_text())["schema"] == 1
+        assert (json.loads(target.read_text())["schema"]
+                == manifest_mod.SCHEMA_VERSION)
 
 
 class TestRenderSummary:

@@ -1,0 +1,134 @@
+"""Trace export tests: golden Chrome JSON, JSONL round-trip, structure.
+
+The golden file pins the full Perfetto-loadable export of a tiny
+deterministic workload (noop / pdip_44 / seed 1 / 150 instructions).
+Any change to the event schema, the stage->track mapping, or the
+simulator's emit sites trips the comparison. If a *deliberate* change
+invalidates it, regenerate with::
+
+    PYTHONPATH=src python -c "
+    from repro.simulator.runner import run_benchmark
+    from repro.telemetry import TelemetrySession
+    from repro.telemetry.export import write_chrome
+    s = TelemetrySession()
+    run_benchmark('noop', 'pdip_44', instructions=150, warmup=50, seed=1,
+                  use_cache=False, telemetry=s)
+    write_chrome(s.recorder.events(),
+                 'tests/data/golden_trace_noop.trace.json',
+                 meta={'benchmark': 'noop', 'policy': 'pdip_44', 'seed': 1,
+                       'instructions': 150, 'warmup': 50})"
+"""
+
+import json
+from pathlib import Path
+
+from repro.simulator.runner import run_benchmark
+from repro.telemetry import TelemetrySession, export_recorder, to_chrome
+from repro.telemetry.events import STAGES
+from repro.telemetry.export import read_jsonl, write_chrome, write_jsonl
+from repro.telemetry.recorder import TraceRecorder
+
+GOLDEN_TRACE = Path(__file__).parent / "data" / "golden_trace_noop.trace.json"
+
+GOLDEN_META = {"benchmark": "noop", "policy": "pdip_44", "seed": 1,
+               "instructions": 150, "warmup": 50}
+
+
+def _tiny_session():
+    session = TelemetrySession()
+    run_benchmark(GOLDEN_META["benchmark"], GOLDEN_META["policy"],
+                  instructions=GOLDEN_META["instructions"],
+                  warmup=GOLDEN_META["warmup"], seed=GOLDEN_META["seed"],
+                  use_cache=False, telemetry=session)
+    return session
+
+
+class TestGoldenChromeTrace:
+    def test_tiny_workload_matches_golden(self, tmp_path):
+        session = _tiny_session()
+        got_path = write_chrome(session.recorder.events(),
+                                tmp_path / "got.trace.json",
+                                meta=GOLDEN_META)
+        got = json.loads(got_path.read_text())
+        want = json.loads(GOLDEN_TRACE.read_text())
+        assert got == want
+
+    def test_golden_is_perfetto_loadable_shape(self):
+        # the minimal contract Perfetto/chrome://tracing require: a
+        # traceEvents array whose rows carry name/ph/pid (+ts for
+        # instants), with metadata rows naming process and threads
+        doc = json.loads(GOLDEN_TRACE.read_text())
+        rows = doc["traceEvents"]
+        assert isinstance(rows, list) and rows
+        phases = {row["ph"] for row in rows}
+        assert phases == {"M", "i"}
+        for row in rows:
+            assert isinstance(row["name"], str)
+            assert row["pid"] == 1
+            if row["ph"] == "i":
+                assert isinstance(row["ts"], int)
+                assert row["s"] == "t"
+                assert "seq" in row["args"]
+        thread_names = {row["args"]["name"] for row in rows
+                        if row["name"] == "thread_name"}
+        assert thread_names == set(STAGES)
+
+
+class TestChromeStructure:
+    def test_stage_tracks_and_event_rows(self):
+        rec = TraceRecorder(capacity=8)
+        rec.emit("resteer", 10, resteer_kind="COND", trigger_line=3)
+        rec.emit("pq_issue", 12, line=7)
+        doc = to_chrome(rec.events(), meta={"seed": 9})
+        assert doc["metadata"] == {"seed": 9}
+        instants = [r for r in doc["traceEvents"] if r["ph"] == "i"]
+        assert [r["name"] for r in instants] == ["resteer", "pq_issue"]
+        by_name = {r["name"]: r for r in instants}
+        # resteer lands on the frontend track, pq_issue on prefetch
+        tid_names = {r["tid"]: r["args"]["name"]
+                     for r in doc["traceEvents"] if r["name"] == "thread_name"}
+        assert tid_names[by_name["resteer"]["tid"]] == "frontend"
+        assert tid_names[by_name["pq_issue"]["tid"]] == "prefetch"
+        assert by_name["resteer"]["ts"] == 10
+        assert by_name["resteer"]["args"]["trigger_line"] == 3
+
+    def test_chrome_json_is_sorted_and_stable(self, tmp_path):
+        rec = TraceRecorder(capacity=8)
+        rec.emit("pq_issue", 1, line=1)
+        a = write_chrome(rec.events(), tmp_path / "a.json").read_text()
+        b = write_chrome(rec.events(), tmp_path / "b.json").read_text()
+        assert a == b
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        rec = TraceRecorder(capacity=8)
+        rec.emit("pq_drop", 4, line=2, reason="full")
+        rec.emit("fast_forward", 9, cycles=120)
+        path = write_jsonl(rec.events(), tmp_path / "t.jsonl",
+                           meta={"seed": 1})
+        assert read_jsonl(path) == rec.events()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["_meta"] is True
+        assert header["seed"] == 1
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"_meta": true}\n\n'
+                        '{"seq": 0, "cycle": 3, "kind": "pq_issue", '
+                        '"args": {"line": 5}}\n')
+        assert read_jsonl(path) == [(0, 3, "pq_issue", {"line": 5})]
+
+
+class TestExportRecorder:
+    def test_writes_both_formats(self, tmp_path):
+        session = _tiny_session()
+        paths = export_recorder(session.recorder, tmp_path / "run",
+                                meta=GOLDEN_META)
+        chrome = json.loads(Path(paths["chrome"]).read_text())
+        events = read_jsonl(paths["jsonl"])
+        instants = [r for r in chrome["traceEvents"] if r["ph"] == "i"]
+        assert len(instants) == len(events) == len(session.recorder)
+        # both formats carry the same (seq, cycle, kind) stream
+        assert ([(r["args"]["seq"], r["ts"], r["name"]) for r in instants]
+                == [(seq, cyc, kind) for seq, cyc, kind, _ in events])

@@ -1,0 +1,178 @@
+"""Tests for the telemetry handle, ring-buffer recorder, and registry."""
+
+import pytest
+
+from repro.telemetry.events import EVENT_KINDS, STAGE_OF_KIND, validate_args
+from repro.telemetry.handle import NULL_RECORDER, NullRecorder, telemetry_enabled
+from repro.telemetry.recorder import TraceRecorder
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestNullHandle:
+    def test_disabled_and_silent(self):
+        assert NULL_RECORDER.enabled is False
+        # emit must be a no-op, never raise, even with junk kinds
+        NULL_RECORDER.emit("not-a-kind", 0, junk=1)
+
+    def test_class_level_flag(self):
+        # the hot-path guard reads a class constant, not instance state
+        assert "enabled" not in getattr(NullRecorder, "__slots__", ("enabled",))
+        assert NullRecorder.enabled is False
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert not telemetry_enabled()
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        assert not telemetry_enabled()
+        monkeypatch.setenv("REPRO_TELEMETRY", "")
+        assert not telemetry_enabled()
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        assert telemetry_enabled()
+
+
+class TestRecorder:
+    def test_records_in_order(self):
+        rec = TraceRecorder(capacity=16)
+        rec.emit("pq_issue", 5, line=1)
+        rec.emit("pq_issue", 7, line=2)
+        assert [e[:2] for e in rec.events()] == [(0, 5), (1, 7)]
+        assert rec.events()[0][2] == "pq_issue"
+        assert rec.events()[0][3] == {"line": 1}
+
+    def test_ring_overflow_keeps_tail(self):
+        rec = TraceRecorder(capacity=4)
+        for i in range(10):
+            rec.emit("pq_issue", i, line=i)
+        assert len(rec) == 4
+        assert rec.dropped == 6
+        # the tail survives: seq 6..9
+        assert [e[0] for e in rec.events()] == [6, 7, 8, 9]
+        # offered accounting is exact despite eviction
+        assert rec.seq == 10
+        assert rec.kind_counts == {"pq_issue": 10}
+
+    def test_sampling_is_deterministic_modulo(self):
+        rec = TraceRecorder(capacity=100, sample_every=3)
+        for i in range(9):
+            rec.emit("pq_issue", i, line=i)
+        # keeps seq 0, 3, 6 — a modulo, never an RNG draw
+        assert [e[0] for e in rec.events()] == [0, 3, 6]
+        assert rec.sampled_out == 6
+        assert rec.seq == 9
+
+    def test_unknown_kind_raises(self):
+        rec = TraceRecorder(capacity=4)
+        with pytest.raises(ValueError, match="unknown telemetry event kind"):
+            rec.emit("tyop", 0)
+
+    def test_validation_can_be_disabled(self):
+        rec = TraceRecorder(capacity=4, validate=False)
+        rec.emit("anything-goes", 0)
+        assert len(rec) == 1
+
+    def test_events_filter_by_kind(self):
+        rec = TraceRecorder(capacity=16)
+        rec.emit("pq_issue", 1, line=1)
+        rec.emit("pq_drop", 2, line=2, reason="full")
+        rec.emit("pq_issue", 3, line=3)
+        assert [e[1] for e in rec.events("pq_issue")] == [1, 3]
+
+    def test_clear_keeps_accounting(self):
+        rec = TraceRecorder(capacity=16)
+        rec.emit("pq_issue", 1, line=1)
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.seq == 1
+        assert rec.kind_counts == {"pq_issue": 1}
+
+    def test_summary_accounting(self):
+        rec = TraceRecorder(capacity=2, sample_every=2)
+        for i in range(8):
+            rec.emit("pq_issue", i, line=i)
+        summary = rec.summary()
+        assert summary["events_offered"] == 8
+        assert summary["events_sampled_out"] == 4
+        assert summary["events_retained"] == 2
+        assert summary["events_dropped_ring"] == 2
+        assert summary["kind_counts"] == {"pq_issue": 8}
+        # offered = retained + dropped + sampled_out, always
+        assert (summary["events_offered"]
+                == summary["events_retained"]
+                + summary["events_dropped_ring"]
+                + summary["events_sampled_out"])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            TraceRecorder(sample_every=0)
+
+
+class TestEventSchema:
+    def test_every_kind_has_a_stage(self):
+        assert set(EVENT_KINDS) == set(STAGE_OF_KIND)
+
+    def test_validate_args_accepts_schema(self):
+        validate_args("pq_drop", {"line": 1, "reason": "full"})
+
+    def test_validate_args_rejects_unknown_arg(self):
+        with pytest.raises(ValueError, match="does not take"):
+            validate_args("pq_drop", {"line": 1, "speed": 9})
+
+    def test_validate_args_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown telemetry event kind"):
+            validate_args("bogus", {})
+
+    def test_emit_sites_match_schema(self):
+        # every kind the simulator emits must round-trip its documented
+        # argument names through a validating recorder
+        rec = TraceRecorder(capacity=len(EVENT_KINDS) + 1)
+        for kind, (names, _desc) in EVENT_KINDS.items():
+            rec.emit(kind, 0, **{name: 0 for name in names})
+        assert len(rec) == len(EVENT_KINDS)
+
+
+class TestRegistry:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("pq.issued")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("pq.issued") is c
+        assert reg.snapshot() == {"pq.issued": 5}
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("ftq.depth").set(12)
+        reg.gauge("ftq.depth").set(7)
+        assert reg.snapshot() == {"ftq.depth": 7}
+
+    def test_histogram_buckets_and_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1, 10))
+        for v in (0, 1, 5, 10, 11, 1000):
+            h.observe(v)
+        snap = reg.snapshot()["lat"]
+        assert snap["counts"] == [2, 2, 2]  # <=1, <=10, overflow
+        assert snap["total"] == 6
+        assert snap["sum"] == 1027.0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_names_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert isinstance(reg.get("b"), Counter)
+        assert isinstance(reg.get("a"), Gauge)
+        assert reg.get("zzz") is None
+
+    def test_handles_are_slotted(self):
+        # metric handles sit on warm paths; no per-instance __dict__
+        for cls in (Counter, Gauge, Histogram):
+            assert not hasattr(cls("x"), "__dict__")
