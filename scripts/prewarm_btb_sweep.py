@@ -2,11 +2,14 @@
 
 One parallel suite per BTB size (``--jobs N`` or ``REPRO_JOBS``;
 default: all cores); all sizes accumulate into a single run manifest.
+``--store DIR`` (or ``REPRO_STORE``) also persists every cell into the
+durable result store, so later served or batch runs reuse the sweep.
 """
 import argparse
 import time
 
 from repro.experiments.common import SWEEP_BENCHMARKS
+from repro.service.store import ResultStore, store_from_env
 from repro.simulator import manifest as manifest_mod
 from repro.simulator.config import MachineConfig
 from repro.simulator.runner import run_suite_parallel
@@ -20,7 +23,11 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: REPRO_JOBS, "
                              "else all cores)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="durable result store to read/write "
+                             "(default: REPRO_STORE env, else none)")
     args = parser.parse_args()
+    store = ResultStore(args.store) if args.store else store_from_env()
 
     t0 = time.time()
     manifest = manifest_mod.RunManifest(label="prewarm_btb_sweep")
@@ -29,7 +36,7 @@ def main() -> None:
         print(f"--- btb={entries} ---")
         run_suite_parallel(POLICIES, benchmarks=SWEEP_BENCHMARKS,
                            config=config, jobs=args.jobs, verbose=True,
-                           manifest=manifest)
+                           manifest=manifest, store=store)
     path = manifest.write()
     print(manifest_mod.render_summary(manifest.to_dict()))
     print(f"manifest: {path}")

@@ -3,10 +3,13 @@
 Fans the (benchmark x policy) grid out across worker processes
 (``--jobs N`` or ``REPRO_JOBS``; default: all cores) and prints the run
 manifest summary when done. Already-cached cells are skipped.
+``--store DIR`` (or ``REPRO_STORE``) also persists every cell into the
+durable result store, so later served or batch runs reuse the grid.
 """
 import argparse
 import time
 
+from repro.service.store import ResultStore, store_from_env
 from repro.simulator import manifest as manifest_mod
 from repro.simulator.runner import run_suite_parallel
 from repro.workloads.profiles import BENCHMARK_NAMES
@@ -21,13 +24,17 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: REPRO_JOBS, "
                              "else all cores)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="durable result store to read/write "
+                             "(default: REPRO_STORE env, else none)")
     args = parser.parse_args()
+    store = ResultStore(args.store) if args.store else store_from_env()
 
     t0 = time.time()
     manifest = manifest_mod.RunManifest(label="prewarm_main_grid")
     results = run_suite_parallel(POLICIES, benchmarks=BENCHMARK_NAMES,
                                  jobs=args.jobs, verbose=True,
-                                 manifest=manifest)
+                                 manifest=manifest, store=store)
     path = manifest.write()
     print(manifest_mod.render_summary(manifest.to_dict()))
     print(f"manifest: {path}")

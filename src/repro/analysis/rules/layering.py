@@ -4,11 +4,13 @@ Each unit (first dotted component below the root package) may import
 only the units beneath it. The table encodes the intended architecture:
 ``utils`` at the bottom; the hardware model (``memory``/``branch``/
 ``frontend``/``backend``/``prefetchers``/``core``) above ``workloads``;
-``simulator`` orchestrating the model; ``experiments``/``bench``/``cli``
-as drivers on top. Crucially, the model and the simulator never import
-the drivers (``experiments``, ``reporting``, ``bench``, ``cli``), and
-``workloads`` never import the simulator — workload generation must not
-be able to observe simulation state.
+``simulator`` orchestrating the model; ``experiments``/``bench``/
+``service``/``cli`` as drivers on top. Crucially, the model and the
+simulator never import the drivers (``experiments``, ``reporting``,
+``bench``, ``service``, ``cli``), and ``workloads`` never import the
+simulator — workload generation must not be able to observe simulation
+state, and a simulation must not be able to observe the service that
+scheduled it.
 
 ``telemetry`` sits beside ``utils`` at the bottom so every layer may
 hold a telemetry handle; *which* telemetry module a hot path may import
@@ -51,6 +53,10 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
     "reporting_svg": frozenset({"utils"}),
     "analysis": frozenset({"utils"}),
     "bench": _MODEL_DEPS | frozenset({"backend", "prefetchers", "core", "simulator"}),
+    # the serving layer wraps the simulator (store keys, runner
+    # internals); nothing in the model or the simulator may import it,
+    # so a simulation can never observe the service that scheduled it
+    "service": _MODEL_DEPS | frozenset({"backend", "prefetchers", "core", "simulator"}),
     "experiments": frozenset(
         {
             "utils",
@@ -66,6 +72,7 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
             "simulator",
             "reporting",
             "reporting_svg",
+            "service",
         }
     ),
 }

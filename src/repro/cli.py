@@ -18,7 +18,17 @@ Commands:
   2 incomparable);
 * ``lint`` — run the AST determinism/architecture rules
   (see :mod:`repro.analysis`);
+* ``serve`` — run the simulation job server (priority queue, worker
+  pool, durable result store; see :mod:`repro.service`);
+* ``submit`` — submit one cell to a running server (``--wait`` blocks
+  for the result);
+* ``jobs`` — list/inspect/cancel server jobs, or ``--drain`` it;
 * ``list`` — show the available benchmarks, policies, and figures.
+
+``run``, ``suite``, and ``figure`` accept ``--store DIR`` (or the
+``REPRO_STORE`` env var) to read and write the same durable store the
+server uses, so batch and served work share one result set. ``bench``
+deliberately has no such flag — scores must time real simulations.
 """
 
 from __future__ import annotations
@@ -68,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("benchmark", choices=BENCHMARK_NAMES)
     p_run.add_argument("policy", choices=sorted(POLICIES))
     _budget_args(p_run)
+    _store_arg(p_run)
     p_run.add_argument("--stats-out", default=None, metavar="PATH",
                        help="also write the stats as a JSON run dump "
                             "(comparable with 'repro diff')")
@@ -83,10 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated policy names")
     _budget_args(p_suite)
     _jobs_arg(p_suite)
+    _store_arg(p_suite)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
     p_fig.add_argument("figure", choices=sorted(FIGURES) + ["all"])
     _jobs_arg(p_fig)
+    _store_arg(p_fig)
 
     p_bench = sub.add_parser(
         "bench", help="time the simulation core and write BENCH_runner.json")
@@ -184,6 +197,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--list-rules", action="store_true",
                         help="list the registered rules and exit")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation job server (see repro.service)")
+    _endpoint_args(p_serve)
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="simulation worker processes (default 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=None,
+                         help="max queued jobs before 429 (default 256)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-attempt job timeout in seconds "
+                              "(default: none)")
+    p_serve.add_argument("--retries", type=int, default=None,
+                         help="retry budget per job beyond try #1 "
+                              "(default 2)")
+    p_serve.add_argument("--backoff", type=float, default=None,
+                         help="base retry backoff seconds, doubled per "
+                              "attempt (default 0.25)")
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="result store root (default: REPRO_STORE "
+                              "env, else <cache dir>/store)")
+    p_serve.add_argument("--no-store", action="store_true",
+                         help="run without durable persistence")
+    p_serve.add_argument("--allow-faults", action="store_true",
+                         help="accept fault-injection jobs (failure-mode "
+                              "tests and CI only)")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one cell to a running job server")
+    p_submit.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p_submit.add_argument("policy", choices=sorted(POLICIES))
+    p_submit.add_argument("--instructions", type=int,
+                          default=DEFAULT_INSTRUCTIONS)
+    p_submit.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    p_submit.add_argument("--seed", type=int, default=1)
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs earlier (default 0)")
+    _endpoint_args(p_submit)
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job is terminal and print "
+                               "its stats")
+    p_submit.add_argument("--wait-timeout", type=float, default=None,
+                          help="give up waiting after this many seconds")
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list or manage jobs on a running server")
+    p_jobs.add_argument("job", nargs="?", default=None,
+                        help="job id to show in detail (default: list all)")
+    p_jobs.add_argument("--cancel", metavar="ID", default=None,
+                        help="cancel a queued or running job")
+    p_jobs.add_argument("--drain", action="store_true",
+                        help="ask the server to drain and exit")
+    _endpoint_args(p_jobs)
+
     sub.add_parser("list", help="show benchmarks, policies, figures")
     return parser
 
@@ -200,6 +265,28 @@ def _jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the simulation grid "
                              "(default: REPRO_JOBS env, else serial)")
+
+
+def _store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="durable result store to read/write "
+                             "(default: REPRO_STORE env, else none)")
+
+
+def _endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="server port (default 8642)")
+
+
+def _resolve_store(path: Optional[str]):
+    """ResultStore for an explicit --store path or the REPRO_STORE env."""
+    from repro.service.store import ResultStore, store_from_env
+
+    if path:
+        return ResultStore(path)
+    return store_from_env()
 
 
 def _run_dump(args: argparse.Namespace, stats, session=None,
@@ -232,7 +319,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                           instructions=args.instructions,
                           warmup=args.warmup, seed=args.seed,
                           use_cache=not args.no_cache,
-                          telemetry=session)
+                          telemetry=session,
+                          store=_resolve_store(args.store))
     if args.stats_out:
         import json
         from pathlib import Path
@@ -271,7 +359,8 @@ def cmd_suite(args: argparse.Namespace) -> int:
     results = run_suite_parallel(policies, benchmarks=benches,
                                  instructions=args.instructions,
                                  warmup=args.warmup, seed=args.seed,
-                                 jobs=args.jobs, verbose=True)
+                                 jobs=args.jobs, verbose=True,
+                                 store=_resolve_store(args.store))
     latest = manifest_mod.latest()
     if latest is not None:
         print(f"\nmanifest: {latest}")
@@ -294,6 +383,9 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         # the figure drivers read REPRO_JOBS through experiments.common
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.store is not None:
+        # likewise, drivers resolve the store via the REPRO_STORE env
+        os.environ["REPRO_STORE"] = args.store
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
         module = importlib.import_module(FIGURES[name])
@@ -455,6 +547,115 @@ def cmd_lint(args: argparse.Namespace) -> int:
                     select=select, list_rules=args.list_rules)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the simulation job server until drained."""
+    import os
+
+    from repro.service import server as service_server
+    from repro.simulator import cache as result_cache
+
+    store_root = None
+    if not args.no_store:
+        store_root = (args.store
+                      or os.environ.get("REPRO_STORE", "").strip()
+                      or str(result_cache.cache_dir() / "store"))
+    return service_server.serve(
+        host=args.host,
+        port=(args.port if args.port is not None
+              else service_server.DEFAULT_PORT),
+        store_root=store_root,
+        jobs=args.jobs,
+        queue_limit=(args.queue_limit if args.queue_limit is not None
+                     else service_server.DEFAULT_QUEUE_LIMIT),
+        timeout=args.timeout,
+        retries=(args.retries if args.retries is not None
+                 else service_server.DEFAULT_RETRIES),
+        backoff=(args.backoff if args.backoff is not None
+                 else service_server.DEFAULT_BACKOFF_S),
+        allow_faults=args.allow_faults)
+
+
+def _client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+    from repro.service.server import DEFAULT_PORT
+
+    return ServiceClient(host=args.host,
+                         port=args.port if args.port is not None
+                         else DEFAULT_PORT)
+
+
+def _print_job(job: dict) -> None:
+    line = (f"  {job['id']}  {job.get('benchmark', '?'):16s} "
+            f"{job.get('policy', '?'):18s} seed={job.get('seed', '?')} "
+            f"prio={job.get('priority', 0)} {job['state']:9s} "
+            f"x{job['attempts']}")
+    if job.get("source"):
+        line += f" [{job['source']}]"
+    if job.get("error"):
+        line += f"  {job['error']}"
+    print(line)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: send one cell to a running server."""
+    from repro.service.client import ServiceError
+
+    client = _client(args)
+    try:
+        job = client.submit(args.benchmark, args.policy,
+                            instructions=args.instructions,
+                            warmup=args.warmup, seed=args.seed,
+                            priority=args.priority)
+        print(f"job {job['id']} {job['state']} (key {job['key'][:12]})")
+        if not args.wait:
+            return 0
+        job = client.wait(job["id"], timeout=args.wait_timeout)
+        _print_job(job)
+        if job["state"] != "done":
+            return 1
+        result = client.result(job["id"])
+        stats = result["stats"]
+        ipc = (stats["instructions"] / stats["cycles"]
+               if stats.get("cycles") else 0.0)
+        print(f"  IPC {ipc:.3f}  ({result['source']})")
+        return 0
+    except (ServiceError, ConnectionError, OSError, TimeoutError) as exc:
+        print(f"submit failed: {exc}")
+        return 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """``repro jobs``: list/inspect/cancel jobs, or drain the server."""
+    import json
+
+    from repro.service.client import ServiceError
+
+    client = _client(args)
+    try:
+        if args.drain:
+            client.drain()
+            print("drain requested")
+            return 0
+        if args.cancel:
+            job = client.cancel(args.cancel)
+            _print_job(job)
+            return 0
+        if args.job:
+            job = client.status(args.job)
+            print(json.dumps(job, indent=1, sort_keys=True))
+            return 0
+        jobs = client.jobs()
+        health = client.health()
+        print(f"server {health['state']}: {health['queued']} queued, "
+              f"{health['running']} running, {health['jobs']} total")
+        for job in jobs:
+            _print_job(job)
+        return 0
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"jobs failed: {exc}")
+        return 1
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     """``repro list``: show the catalogs."""
     print("benchmarks:")
@@ -477,6 +678,9 @@ COMMANDS = {
     "trace": cmd_trace,
     "diff": cmd_diff,
     "lint": cmd_lint,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "jobs": cmd_jobs,
     "list": cmd_list,
 }
 

@@ -1,0 +1,133 @@
+"""Blocking client for the simulation job server (stdlib-only).
+
+Speaks the control plane of :mod:`repro.service.server` over
+:class:`http.client.HTTPConnection` — no third-party HTTP stack. Used
+by the ``repro submit`` / ``repro jobs`` CLI commands and the service
+tests; scripts can use it directly::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(port=8642)
+    job = client.submit("cassandra", "pdip_44", instructions=100_000)
+    done = client.wait(job["id"])
+    stats = client.result(job["id"])["stats"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.server import DEFAULT_PORT
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx control-plane response (carries status + payload)."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        super().__init__("HTTP %d: %s"
+                         % (status, payload.get("error", payload)))
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Thin request wrapper; one TCP connection per call (server closes)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None
+                 ) -> Tuple[int, Dict[str, object]]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            data = json.dumps(body).encode("utf-8") if body is not None \
+                else None
+            headers = {"Content-Type": "application/json"} if data else {}
+            conn.request(method, path, body=data, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+            return response.status, payload
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None,
+                 ok: Tuple[int, ...] = (200, 202)) -> Dict[str, object]:
+        status, payload = self._request(method, path, body)
+        if status not in ok:
+            raise ServiceError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._checked("GET", "/healthz")
+
+    def submit(self, benchmark: str, policy: str = "baseline",
+               instructions: Optional[int] = None,
+               warmup: Optional[int] = None, seed: int = 1,
+               priority: int = 0,
+               config: Optional[Dict[str, object]] = None,
+               fault: Optional[str] = None,
+               fault_seconds: Optional[float] = None
+               ) -> Dict[str, object]:
+        """Submit one cell; returns the job summary (raises on 4xx/5xx).
+
+        A duplicate of an active job coalesces server-side: the summary
+        you get back is the existing job's, with the same id.
+        """
+        body: Dict[str, object] = {"benchmark": benchmark, "policy": policy,
+                                   "seed": seed, "priority": priority}
+        if instructions is not None:
+            body["instructions"] = instructions
+        if warmup is not None:
+            body["warmup"] = warmup
+        if config:
+            body["config"] = config
+        if fault is not None:
+            body["fault"] = fault
+            if fault_seconds is not None:
+                body["fault_seconds"] = fault_seconds
+        return self._checked("POST", "/jobs", body)["job"]
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._checked("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._checked("GET", "/jobs/%s" % job_id)["job"]
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """``{id, key, source, stats}`` of a DONE job (409 otherwise)."""
+        return self._checked("GET", "/jobs/%s/result" % job_id)
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._checked("POST", "/jobs/%s/cancel" % job_id)["job"]
+
+    def drain(self) -> Dict[str, object]:
+        return self._checked("POST", "/drain")
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.1) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises ``TimeoutError`` if ``timeout`` seconds elapse first.
+        """
+        from repro.service.jobs import JobState
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in JobState.TERMINAL:
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("job %s still %s after %.3gs"
+                                   % (job_id, job["state"], timeout))
+            time.sleep(poll)

@@ -13,8 +13,6 @@ or ``REPRO_NO_CACHE=1`` to disable it.
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 import json
 import os
 from pathlib import Path
@@ -23,9 +21,16 @@ from typing import Optional
 from repro.simulator.config import MachineConfig
 from repro.simulator.policies import PolicySpec
 from repro.simulator.stats import SimulationStats
+from repro.utils import canonical_digest, freeze
 from repro.workloads.profiles import get_profile
 
 _DEFAULT_DIR = Path(__file__).resolve().parents[3] / ".repro-results"
+
+#: run-key payload version: bump when simulation semantics change in a
+#: way that must invalidate previously stored results. The service
+#: store (:mod:`repro.service.store`) records it as ``code_version``,
+#: so its rows invalidate in lockstep with this cache.
+RUN_KEY_VERSION = 3
 
 
 def cache_dir() -> Path:
@@ -38,35 +43,31 @@ def cache_enabled() -> bool:
     return os.environ.get("REPRO_NO_CACHE", "") != "1"
 
 
-def _freeze(obj):
-    """JSON-stable representation of dataclasses / dicts / scalars."""
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {f.name: _freeze(getattr(obj, f.name))
-                for f in dataclasses.fields(obj)}
-    if isinstance(obj, dict):
-        return {str(k): _freeze(v) for k, v in sorted(obj.items())}
-    if isinstance(obj, (list, tuple)):
-        return [_freeze(v) for v in obj]
-    return obj
+#: backward-compatible alias; the canonical form lives in repro.utils
+_freeze = freeze
 
 
 def run_key(benchmark: str, spec: PolicySpec, instructions: int, warmup: int,
             seed: int, config: Optional[MachineConfig]) -> str:
-    """Stable hash of everything that determines a run's outcome."""
+    """Stable hash of everything that determines a run's outcome.
+
+    This is the one cell identity in the system: the on-disk cache file
+    name, the manifest ``key`` column, and the service store's primary
+    key are all this digest (see :func:`repro.utils.canonical_digest`).
+    """
     payload = {
         "benchmark": benchmark,
         # include the full profile so retuning a benchmark invalidates
         # its cached runs
-        "profile": _freeze(get_profile(benchmark)),
-        "spec": _freeze(spec),
+        "profile": freeze(get_profile(benchmark)),
+        "spec": freeze(spec),
         "instructions": instructions,
         "warmup": warmup,
         "seed": seed,
-        "config": _freeze(config if config is not None else MachineConfig()),
-        "version": 3,
+        "config": freeze(config if config is not None else MachineConfig()),
+        "version": RUN_KEY_VERSION,
     }
-    blob = json.dumps(payload, sort_keys=True).encode()
-    return hashlib.sha1(blob).hexdigest()
+    return canonical_digest(payload)
 
 
 def load(key: str) -> Optional[SimulationStats]:
@@ -81,11 +82,28 @@ def load(key: str) -> Optional[SimulationStats]:
             data = json.load(fh)
     except (OSError, ValueError):
         return None
-    stats = SimulationStats()
-    for name, value in data.items():
-        if hasattr(stats, name):
-            setattr(stats, name, value)
-    return stats
+    return SimulationStats.from_dict(data)
+
+
+def cleanup_stale_tmp(key: str) -> int:
+    """Remove leftover ``<key>.*.tmp`` files; returns the count removed.
+
+    A worker that dies mid-:func:`store` (crash, OOM kill) leaves its
+    pid-unique temp file behind. The runner calls this before
+    re-submitting a failed cell so the retry starts from a clean slate
+    instead of accreting partial artifacts run after run.
+    """
+    removed = 0
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    for tmp in directory.glob(key + ".*.tmp"):
+        try:
+            tmp.unlink()
+            removed += 1
+        except OSError:
+            pass  # another retryer won the race; nothing left to clean
+    return removed
 
 
 def store(key: str, stats: SimulationStats) -> None:

@@ -18,7 +18,6 @@ of the most recent manifest.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import os
 import time
@@ -28,6 +27,7 @@ from typing import Dict, List, Optional
 
 from repro.simulator import cache as result_cache
 from repro.simulator.config import MachineConfig
+from repro.utils import canonical_digest
 
 #: manifest schema version (bump when the JSON layout changes)
 #: v2: cells carry ``stats`` counter digests (diffable via ``repro diff``)
@@ -50,10 +50,8 @@ def manifests_enabled() -> bool:
 
 def config_hash(config: Optional[MachineConfig]) -> str:
     """Short stable hash of a machine config (default config when None)."""
-    frozen = result_cache._freeze(config if config is not None
-                                  else MachineConfig())
-    blob = json.dumps(frozen, sort_keys=True).encode()
-    return hashlib.sha1(blob).hexdigest()[:12]
+    return canonical_digest(config if config is not None
+                            else MachineConfig())[:12]
 
 
 @dataclass

@@ -90,11 +90,19 @@ def run_benchmark(benchmark: str, policy: str,
                   config: Optional[MachineConfig] = None,
                   seed: int = 1,
                   use_cache: bool = True,
-                  telemetry=None) -> SimulationStats:
+                  telemetry=None,
+                  store=None) -> SimulationStats:
     """Simulate one benchmark under one policy and return its stats.
 
     Results are memoized on disk (see :mod:`repro.simulator.cache`);
     pass ``use_cache=False`` to force a fresh simulation.
+
+    ``store`` is an optional durable result store — any object with the
+    ``get(key) -> stats`` / ``put(key, stats, meta=...)`` surface of
+    :class:`repro.service.store.ResultStore` (duck-typed so this layer
+    never imports the service). It is consulted after the local file
+    cache and written alongside it; a store hit also warms the local
+    cache so the next run skips the store round-trip.
 
     ``telemetry`` (a :class:`repro.telemetry.TelemetrySession`) attaches
     a trace recorder for the duration of the run and harvests component
@@ -112,6 +120,11 @@ def run_benchmark(benchmark: str, policy: str,
         hit = result_cache.load(key)
         if hit is not None:
             return hit
+        if store is not None:
+            hit = store.get(key)
+            if hit is not None:
+                result_cache.store(key, hit)
+                return hit
     layout = get_layout(benchmark, seed=seed)
     machine = build_machine(layout, profile, spec, config=config, seed=seed)
     if telemetry is not None:
@@ -123,6 +136,12 @@ def run_benchmark(benchmark: str, policy: str,
             telemetry.detach(machine)
     if use_cache:
         result_cache.store(key, stats)
+    if store is not None:
+        store.put(key, stats, meta={
+            "benchmark": benchmark, "policy": spec.name, "seed": seed,
+            "instructions": instructions, "warmup": warmup,
+            "config_hash": config_hash(config), "worker": "main",
+        })
     return stats
 
 
@@ -169,8 +188,13 @@ def _execute_cells(pending: Dict[str, tuple], jobs: int, retries: int,
     run-key to ``(stats, wall_time, worker_id, telemetry_summary)``.
     Cells that raised are retried up to ``retries`` extra rounds with
     doubling backoff (a fresh pool each round, so a broken pool is also
-    recovered); cells still failing land in ``errors``.
+    recovered); cells still failing land in ``errors``. Before a cell
+    is re-submitted, any partial ``<key>.*.tmp`` artifacts a crashed
+    worker left in the result cache are deleted — the retry must run
+    against a clean slate, not on top of a truncated temp file.
     """
+    from repro.simulator import cache as result_cache
+
     remaining = dict(pending)
     results: Dict[str, Tuple[SimulationStats, float, str, Optional[dict]]] = {}
     attempts: Dict[str, int] = {key: 0 for key in pending}
@@ -180,6 +204,8 @@ def _execute_cells(pending: Dict[str, tuple], jobs: int, retries: int,
             break
         if round_no:
             time.sleep(_BACKOFF_S * (2 ** (round_no - 1)))
+            for key in remaining:
+                result_cache.cleanup_stale_tmp(key)
         failed: Dict[str, tuple] = {}
         errors = {}
         if jobs <= 1:
@@ -219,6 +245,7 @@ def run_suite_parallel(policies: Sequence[str],
                        verbose: bool = False,
                        manifest: Optional[RunManifest] = None,
                        label: str = "suite",
+                       store=None,
                        ) -> Dict[str, Dict[str, SimulationStats]]:
     """Run a (benchmark x policy) grid across a process pool.
 
@@ -235,6 +262,12 @@ def run_suite_parallel(policies: Sequence[str],
     see :mod:`repro.simulator.manifest`); pass an explicit ``manifest``
     to accumulate several grids into one document, which the caller then
     writes. Two manifests compare cell-by-cell with ``repro diff``.
+
+    ``store`` is an optional durable result store (duck-typed — see
+    :func:`run_benchmark`): consulted for each cell after the local
+    file cache (hits appear in the manifest with worker ``store``) and
+    written with every freshly computed cell, so a sweep re-run against
+    the same store performs zero simulations.
     """
     from repro.simulator import cache as result_cache
 
@@ -260,15 +293,24 @@ def run_suite_parallel(policies: Sequence[str],
             cells.setdefault(key, (bench, spec, instructions, warmup,
                                    config, seed))
 
-    # serve cache hits up front; only misses go to the workers
+    # serve cache/store hits up front; only misses go to the workers
     hits: Dict[str, SimulationStats] = {}
+    hit_source: Dict[str, str] = {}
     pending: Dict[str, tuple] = {}
     for key, cell in cells.items():
         cached = result_cache.load(key)
         if cached is not None:
             hits[key] = cached
-        else:
-            pending[key] = cell
+            hit_source[key] = "cache"
+            continue
+        if store is not None:
+            stored = store.get(key)
+            if stored is not None:
+                hits[key] = stored
+                hit_source[key] = "store"
+                result_cache.store(key, stored)  # warm the local cache
+                continue
+        pending[key] = cell
 
     computed, attempts, errors = _execute_cells(pending, jobs, retries)
 
@@ -278,13 +320,21 @@ def run_suite_parallel(policies: Sequence[str],
         telemetry = None
         if key in hits:
             stats, wall, worker, status, error = (
-                hits[key], 0.0, "cache", "ok", "")
+                hits[key], 0.0, hit_source[key], "ok", "")
             n_attempts = 0
         elif key in computed:
             stats, wall, worker, telemetry = computed[key]
             status, error = "ok", ""
             n_attempts = attempts[key]
             result_cache.store(key, stats)
+            if store is not None:
+                store.put(key, stats, meta={
+                    "benchmark": bench, "policy": grid_slots[0][1],
+                    "seed": seed, "instructions": instructions,
+                    "warmup": warmup, "config_hash": cfg_hash,
+                    "wall_time": wall, "worker": worker,
+                    "attempts": n_attempts, "label": manifest.label,
+                }, telemetry=telemetry)
         else:
             stats, wall, worker = None, 0.0, "none"
             status, error = "failed", errors.get(key, "unknown")
@@ -325,7 +375,8 @@ def run_suite(policies: Sequence[str], benchmarks: Optional[Iterable[str]] = Non
               warmup: int = DEFAULT_WARMUP,
               config: Optional[MachineConfig] = None,
               seed: int = 1,
-              verbose: bool = False) -> Dict[str, Dict[str, SimulationStats]]:
+              verbose: bool = False,
+              store=None) -> Dict[str, Dict[str, SimulationStats]]:
     """Run a (benchmark x policy) grid serially.
 
     Returns ``{benchmark: {policy: stats}}``. The layout for each
@@ -337,7 +388,7 @@ def run_suite(policies: Sequence[str], benchmarks: Optional[Iterable[str]] = Non
     return run_suite_parallel(policies, benchmarks=benchmarks,
                               instructions=instructions, warmup=warmup,
                               config=config, seed=seed, jobs=1,
-                              verbose=verbose)
+                              verbose=verbose, store=store)
 
 
 def speedup(stats: SimulationStats, baseline: SimulationStats) -> float:

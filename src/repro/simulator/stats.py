@@ -88,6 +88,22 @@ class SimulationStats:
         data["extra"] = dict(self.extra)
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationStats":
+        """Rebuild stats from a :meth:`to_dict` payload.
+
+        Unknown keys are ignored, so dumps written by a newer schema
+        still load (the shared deserializer for the result cache and
+        the service store).
+        """
+        stats = cls()
+        for name, value in data.items():
+            if name == "extra":
+                stats.extra = dict(value)  # type: ignore[arg-type]
+            elif hasattr(stats, name):
+                setattr(stats, name, value)
+        return stats
+
     # ------------------------------------------------------------------
     # derived metrics
     # ------------------------------------------------------------------

@@ -1,4 +1,5 @@
-"""Shared low-level helpers: address arithmetic and deterministic RNG streams.
+"""Shared low-level helpers: address arithmetic, deterministic RNG
+streams, and canonical hashing.
 
 Every stochastic component in the simulator (workload walker, EMISSARY
 promotion, PDIP insertion, back-end stall model) draws from its own seeded
@@ -9,6 +10,9 @@ perturbs existing components.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import random
 import sys
 
@@ -62,6 +66,35 @@ def derive_rng(seed: int, stream: str) -> random.Random:
     for ch in stream:
         h = (h ^ ord(ch)) * 16777619 & 0xFFFFFFFF
     return random.Random((seed * 0x9E3779B1 + h) & 0xFFFFFFFFFFFF)
+
+
+def freeze(obj):
+    """JSON-stable representation of dataclasses / dicts / scalars.
+
+    Dataclasses become field-name dicts, dicts are key-sorted, tuples
+    become lists — so two structurally equal values always serialize to
+    the same JSON text regardless of construction order.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: freeze(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): freeze(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [freeze(v) for v in obj]
+    return obj
+
+
+def canonical_digest(payload) -> str:
+    """SHA-1 hex digest of the canonical JSON form of ``payload``.
+
+    The one hashing helper behind every identity in the repo: the
+    on-disk result-cache run key, the manifest config hash, and the
+    service store's cell key all reduce to this function, so a cell's
+    digest is stable across subsystems (and pinned by a golden test).
+    """
+    blob = json.dumps(freeze(payload), sort_keys=True).encode()
+    return hashlib.sha1(blob).hexdigest()
 
 
 def geomean(values) -> float:

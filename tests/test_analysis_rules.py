@@ -171,6 +171,43 @@ class TestLayering:
         }, [LayeringRule()])
         assert findings == []
 
+    def test_service_may_import_simulator_and_telemetry(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/simulator/runner.py": "X = 1\n",
+            "pkg/telemetry/__init__.py": "",
+            "pkg/telemetry/handle.py": "H = 2\n",
+            "pkg/service/server.py": (
+                "from pkg.simulator.runner import X\n"
+                "from pkg.telemetry.handle import H\n"
+            ),
+        }, [LayeringRule()])
+        assert findings == []
+
+    def test_model_units_must_not_import_service(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/store.py": "S = 1\n",
+            "pkg/core/engine.py": "from pkg.service.store import S\n",
+            "pkg/frontend/fetch.py": "from pkg.service.store import S\n",
+            "pkg/memory/__init__.py": "",
+            "pkg/memory/cache.py": "from pkg.service.store import S\n",
+        }, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        offenders = sorted(f.path for f in findings)
+        assert offenders == ["pkg/core/engine.py", "pkg/frontend/fetch.py",
+                             "pkg/memory/cache.py"]
+        assert all("service" in f.message for f in findings)
+
+    def test_simulator_must_not_import_service(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/store.py": "S = 1\n",
+            "pkg/simulator/runner.py": "from pkg.service.store import S\n",
+        }, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        assert findings[0].path == "pkg/simulator/runner.py"
+
 
 class TestHotPath:
     def test_per_event_class_without_slots(self, tmp_path):

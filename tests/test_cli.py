@@ -49,6 +49,56 @@ class TestParser:
         assert args.path == "m.json"
         assert args.cells
 
+    def test_store_flag(self):
+        for cmd in (["run", "noop", "baseline"], ["suite"],
+                    ["figure", "fig09"]):
+            args = build_parser().parse_args(cmd + ["--store", "/tmp/s"])
+            assert args.store == "/tmp/s"
+            assert build_parser().parse_args(cmd).store is None
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--jobs", "3", "--queue-limit",
+             "8", "--timeout", "5.5", "--retries", "1", "--no-store",
+             "--allow-faults"])
+        assert args.port == 9000
+        assert args.jobs == 3
+        assert args.queue_limit == 8
+        assert args.timeout == 5.5
+        assert args.retries == 1
+        assert args.no_store
+        assert args.allow_faults
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.host == "127.0.0.1"
+        assert defaults.port is None
+        assert not defaults.allow_faults
+
+    def test_submit_args(self):
+        args = build_parser().parse_args(
+            ["submit", "tatp", "pdip_44", "--instructions", "30000",
+             "--warmup", "6000", "--priority", "5", "--wait"])
+        assert args.benchmark == "tatp"
+        assert args.policy == "pdip_44"
+        assert args.instructions == 30000
+        assert args.priority == 5
+        assert args.wait
+
+    def test_submit_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "noop", "bogus"])
+
+    def test_jobs_args(self):
+        args = build_parser().parse_args(["jobs"])
+        assert args.job is None and not args.drain
+        args = build_parser().parse_args(
+            ["jobs", "abc123", "--port", "9000"])
+        assert args.job == "abc123"
+        assert args.port == 9000
+        args = build_parser().parse_args(["jobs", "--cancel", "abc",
+                                          "--drain"])
+        assert args.cancel == "abc"
+        assert args.drain
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -64,6 +114,18 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "IPC" in out
+
+    def test_run_with_store_persists_cell(self, tmp_path, capsys):
+        from repro.service.store import ResultStore
+
+        root = tmp_path / "store"
+        rc = main(["run", "noop", "baseline", "--instructions", "4000",
+                   "--warmup", "800", "--store", str(root)])
+        assert rc == 0
+        with ResultStore(root) as store:
+            assert len(store) == 1
+            key = ResultStore.cell_key("noop", "baseline", 4000, 800)
+            assert store.get(key) is not None
 
     def test_run_prefetcher_shows_ppki(self, capsys):
         main(["run", "noop", "pdip_44", "--instructions", "4000",

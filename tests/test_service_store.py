@@ -1,0 +1,261 @@
+"""Tests for the content-addressed result store.
+
+Covers the acceptance scenario of the service subsystem: a sweep run
+twice against the same store performs **zero** simulations the second
+time and returns bit-identical stats; plus the store's own contracts —
+content-addressed blob dedup, get-or-compute, LRU eviction + blob GC,
+and the pinned golden-cell digest that locks the canonical cell key.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.store import STORE_SCHEMA_VERSION, ResultStore, store_from_env
+from repro.simulator import cache as result_cache
+from repro.simulator import runner as runner_mod
+from repro.simulator.runner import run_benchmark, run_suite_parallel
+from repro.simulator.stats import SimulationStats
+
+#: canonical key of the golden cell pinned in tests/test_golden_stats.py
+#: (tatp / pdip_44 / seed 1 / 30000 instr / 6000 warmup). If this moves,
+#: every existing store and cache entry is invalidated — bump
+#: ``repro.simulator.cache.RUN_KEY_VERSION`` deliberately, never by
+#: accident.
+GOLDEN_CELL_KEY = "88832e4e37247b5fd87a9ad35e1bcf85b2559118"
+
+
+def make_stats(instructions=1000, cycles=500, **extra):
+    stats = SimulationStats()
+    stats.instructions = instructions
+    stats.cycles = cycles
+    for name, value in extra.items():
+        setattr(stats, name, value)
+    return stats
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "store") as s:
+        yield s
+
+
+@pytest.fixture
+def no_local_cache(tmp_path, monkeypatch):
+    """Isolate + disable the file cache so only the store can hit."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.setenv("REPRO_NO_MANIFEST", "1")
+
+
+class TestCellKey:
+    def test_golden_cell_key_pinned(self):
+        key = ResultStore.cell_key("tatp", "pdip_44", 30000, 6000, seed=1)
+        assert key == GOLDEN_CELL_KEY
+
+    def test_matches_run_key(self):
+        from repro.simulator.policies import get_policy
+
+        assert ResultStore.cell_key("noop", "baseline", 100, 10, seed=2) == \
+            result_cache.run_key("noop", get_policy("baseline"), 100, 10, 2,
+                                 None)
+
+
+class TestPutGet:
+    def test_roundtrip_bit_identical(self, store):
+        stats = make_stats(30000, 31234, l1i_misses=77)
+        store.put("k1", stats, meta={"benchmark": "noop",
+                                     "policy": "baseline", "seed": 1})
+        loaded = store.get("k1")
+        assert loaded is not None
+        assert loaded.to_dict() == stats.to_dict()
+
+    def test_miss_returns_none(self, store):
+        assert store.get("missing") is None
+        assert "missing" not in store
+
+    def test_contains_and_len(self, store):
+        assert len(store) == 0
+        store.put("k1", make_stats())
+        assert "k1" in store
+        assert len(store) == 1
+
+    def test_get_bumps_hit_counter(self, store):
+        store.put("k1", make_stats())
+        store.get("k1")
+        store.get("k1")
+        assert store.get_row("k1")["hits"] == 2
+
+    def test_meta_row_lifted_and_preserved(self, store):
+        store.put("k1", make_stats(), meta={
+            "benchmark": "tatp", "policy": "pdip_44", "seed": 3,
+            "instructions": 30000, "warmup": 6000, "wall_time": 1.5,
+        })
+        row = store.get_row("k1")
+        assert row["benchmark"] == "tatp"
+        assert row["policy"] == "pdip_44"
+        assert row["seed"] == 3
+        assert row["manifest"]["wall_time"] == 1.5
+
+    def test_telemetry_rides_along(self, store):
+        store.put("k1", make_stats(), telemetry={"events": 42})
+        assert store.get_telemetry("k1") == {"events": 42}
+        assert store.get_telemetry("missing") is None
+
+    def test_put_without_telemetry_keeps_existing(self, store):
+        store.put("k1", make_stats(), telemetry={"events": 42})
+        store.put("k1", make_stats())
+        assert store.get_telemetry("k1") == {"events": 42}
+
+    def test_torn_blob_reported_as_miss(self, store):
+        store.put("k1", make_stats())
+        digest = store.get_row("k1")["stats_blob"]
+        store._blob_path(digest).unlink()
+        assert store.get("k1") is None
+        assert "k1" not in store  # dangling row was dropped
+
+
+class TestContentAddressing:
+    def test_identical_stats_share_one_blob(self, store):
+        store.put("k1", make_stats(1000, 500))
+        store.put("k2", make_stats(1000, 500))
+        assert len(store) == 2
+        assert len(list(store.blob_dir.glob("*/*.json"))) == 1
+
+    def test_different_stats_get_distinct_blobs(self, store):
+        store.put("k1", make_stats(1000, 500))
+        store.put("k2", make_stats(1000, 501))
+        assert len(list(store.blob_dir.glob("*/*.json"))) == 2
+
+    def test_blob_is_canonical_json(self, store):
+        stats = make_stats(1000, 500)
+        digest = store.put("k1", stats)
+        with open(store._blob_path(digest)) as fh:
+            assert json.load(fh) == stats.to_dict()
+
+
+class TestGetOrCompute:
+    def test_computes_once(self, store):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return make_stats(1, 2)
+
+        first, hit1 = store.get_or_compute("k", compute)
+        second, hit2 = store.get_or_compute("k", compute)
+        assert (hit1, hit2) == (False, True)
+        assert len(calls) == 1
+        assert first.to_dict() == second.to_dict()
+
+
+class TestMaintenance:
+    def test_info_counts(self, store):
+        store.put("k1", make_stats(1, 1))
+        store.put("k2", make_stats(2, 2))
+        info = store.info()
+        assert info["rows"] == 2
+        assert info["blobs"] == 2
+        assert info["schema"] == STORE_SCHEMA_VERSION
+        assert info["blob_bytes"] > 0
+
+    def test_prune_max_rows_evicts_lru(self, store):
+        for i in range(4):
+            store.put("k%d" % i, make_stats(i + 1, 1))
+        store.get("k0")  # freshen k0: k1 is now the LRU row
+        removed = store.prune(max_rows=3)
+        assert removed["rows"] == 1
+        assert "k0" in store
+        assert "k1" not in store
+
+    def test_prune_collects_unreferenced_blobs(self, store):
+        store.put("k1", make_stats(1, 1))
+        store.put("k2", make_stats(2, 2))
+        removed = store.prune(max_rows=1)
+        assert removed == {"rows": 1, "blobs": 1}
+        assert len(list(store.blob_dir.glob("*/*.json"))) == 1
+
+    def test_gc_keeps_shared_blob(self, store):
+        store.put("k1", make_stats(1, 1))
+        store.put("k2", make_stats(1, 1))  # same content
+        store.prune(max_rows=1)
+        assert len(list(store.blob_dir.glob("*/*.json"))) == 1
+        assert store.get("k1") is not None or store.get("k2") is not None
+
+
+class TestStoreFromEnv:
+    def test_unset_returns_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert store_from_env() is None
+
+    def test_set_opens_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "s"))
+        s = store_from_env()
+        assert s is not None
+        assert (tmp_path / "s" / "store.sqlite").exists()
+        s.close()
+
+
+class TestRunnerIntegration:
+    def test_run_benchmark_writes_and_reads_store(self, store,
+                                                  no_local_cache):
+        a = run_benchmark("noop", "baseline", instructions=2000, warmup=300,
+                          store=store)
+        assert len(store) == 1
+        key = ResultStore.cell_key("noop", "baseline", 2000, 300)
+        assert store.get_row(key)["benchmark"] == "noop"
+
+        def boom(*_args, **_kw):  # pragma: no cover - must not run
+            raise AssertionError("second run must not simulate")
+
+        # REPRO_NO_CACHE=1 forces use_cache=False semantics for the file
+        # cache path only when callers pass use_cache=True; here we prove
+        # the *store* serves the re-run by making simulation impossible.
+        from repro.simulator import policies as policies_mod
+        original = policies_mod.build_machine
+        policies_mod.build_machine = boom
+        try:
+            b = run_benchmark("noop", "baseline", instructions=2000,
+                              warmup=300, store=store)
+        finally:
+            policies_mod.build_machine = original
+        assert b.to_dict() == a.to_dict()
+
+    def test_sweep_twice_zero_simulations(self, store, no_local_cache,
+                                          monkeypatch):
+        policies = ["baseline", "pdip_44"]
+        first = run_suite_parallel(policies, benchmarks=["noop"],
+                                   instructions=2000, warmup=300, jobs=1,
+                                   store=store)
+        assert len(store) == 2
+
+        def boom(cell):  # pragma: no cover - must not run
+            raise AssertionError("store re-run must not simulate: %r"
+                                 % (cell,))
+
+        monkeypatch.setattr(runner_mod, "_simulate_cell", boom)
+        second = run_suite_parallel(policies, benchmarks=["noop"],
+                                    instructions=2000, warmup=300, jobs=1,
+                                    store=store)
+        for policy in policies:
+            assert (second["noop"][policy].to_dict()
+                    == first["noop"][policy].to_dict())
+
+    def test_store_hit_recorded_in_manifest(self, store, no_local_cache,
+                                            monkeypatch):
+        from repro.simulator.manifest import RunManifest
+
+        run_suite_parallel(["baseline"], benchmarks=["noop"],
+                           instructions=2000, warmup=300, jobs=1,
+                           store=store)
+        monkeypatch.setattr(runner_mod, "_simulate_cell", lambda cell: (
+            (_ for _ in ()).throw(AssertionError("must not simulate"))))
+        manifest = RunManifest(label="again")
+        run_suite_parallel(["baseline"], benchmarks=["noop"],
+                           instructions=2000, warmup=300, jobs=1,
+                           store=store, manifest=manifest)
+        (record,) = manifest.cells
+        assert record.worker == "store"
+        assert record.cache_hit is True

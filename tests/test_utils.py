@@ -1,5 +1,6 @@
-"""Tests for repro.utils: address arithmetic and RNG derivation."""
+"""Tests for repro.utils: address arithmetic, RNG, canonical hashing."""
 
+import dataclasses
 import math
 
 import pytest
@@ -7,7 +8,9 @@ import pytest
 from repro.utils import (
     INSTRUCTION_SIZE,
     LINE_SIZE,
+    canonical_digest,
     derive_rng,
+    freeze,
     geomean,
     line_base,
     line_of,
@@ -94,3 +97,41 @@ class TestGeomean:
     def test_nonpositive_raises(self):
         with pytest.raises(ValueError):
             geomean([1.0, 0.0])
+
+
+@dataclasses.dataclass
+class _Point:
+    y: int = 2
+    x: int = 1
+
+
+class TestCanonicalDigest:
+    """One canonical identity: cache file = manifest key = store key."""
+
+    def test_pinned_digest(self):
+        # golden value; a change here silently invalidates every result
+        # cache, manifest cross-reference, and store row in existence
+        assert canonical_digest({"b": [1, 2], "a": "x"}) == \
+            "2aca66d40849c00b15a828c75a2d92ac958cda44"
+
+    def test_key_order_irrelevant(self):
+        assert canonical_digest({"a": 1, "b": 2}) == \
+            canonical_digest({"b": 2, "a": 1})
+
+    def test_tuples_and_lists_equal(self):
+        assert canonical_digest({"v": (1, 2)}) == \
+            canonical_digest({"v": [1, 2]})
+
+    def test_dataclass_equals_its_dict(self):
+        assert canonical_digest(_Point()) == \
+            canonical_digest({"x": 1, "y": 2})
+
+    def test_value_changes_digest(self):
+        assert canonical_digest({"a": 1}) != canonical_digest({"a": 2})
+
+    def test_freeze_nested(self):
+        frozen = freeze({"p": _Point(), "seq": (1, (2, 3))})
+        assert frozen == {"p": {"y": 2, "x": 1}, "seq": [1, [2, 3]]}
+
+    def test_freeze_sorts_dict_keys(self):
+        assert list(freeze({"b": 1, "a": 2})) == ["a", "b"]
