@@ -24,7 +24,13 @@ from repro.service.server import DEFAULT_PORT
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx control-plane response (carries status + payload)."""
+    """A non-2xx control-plane response (carries status + payload).
+
+    ``status`` is the HTTP status of the rejected response, or 0 when
+    the server answered bytes the client could not parse as an HTTP
+    JSON response at all (truncated or malformed body) — connection
+    failures stay ``OSError``, a different class of problem.
+    """
 
     def __init__(self, status: int, payload: Dict[str, object]) -> None:
         super().__init__("HTTP %d: %s"
@@ -34,13 +40,24 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """Thin request wrapper; one TCP connection per call (server closes)."""
+    """Thin request wrapper; one TCP connection per call (server closes).
+
+    ``backpressure_retries`` opts in to retrying a 429 queue-full
+    submission: the client sleeps the server-suggested
+    ``retry_after_s`` (capped) and resubmits, up to the budget, before
+    surfacing the 429 as a :class:`ServiceError`.
+    """
+
+    #: cap on one server-suggested backpressure sleep (seconds)
+    MAX_RETRY_AFTER_S = 5.0
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 backpressure_retries: int = 0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.backpressure_retries = max(0, int(backpressure_retries))
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, object]] = None
@@ -52,9 +69,21 @@ class ServiceClient:
                 else None
             headers = {"Content-Type": "application/json"} if data else {}
             conn.request(method, path, body=data, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-            payload = json.loads(raw.decode("utf-8")) if raw else {}
+            try:
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, ValueError) as exc:
+                # unparsable status line / truncated body: a broken
+                # response, not a broken connection
+                raise ServiceError(0, {"error": "malformed response: %r"
+                                                % (exc,)}) from exc
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ServiceError(
+                    response.status,
+                    {"error": "malformed response body: %r" % (exc,),
+                     "body": raw[:200].decode("latin-1")}) from exc
             return response.status, payload
         finally:
             conn.close()
@@ -77,12 +106,15 @@ class ServiceClient:
                priority: int = 0,
                config: Optional[Dict[str, object]] = None,
                fault: Optional[str] = None,
-               fault_seconds: Optional[float] = None
+               fault_seconds: Optional[float] = None,
+               backpressure_retries: Optional[int] = None
                ) -> Dict[str, object]:
         """Submit one cell; returns the job summary (raises on 4xx/5xx).
 
         A duplicate of an active job coalesces server-side: the summary
-        you get back is the existing job's, with the same id.
+        you get back is the existing job's, with the same id. A 429
+        (queue full) is retried after the server-suggested delay when
+        ``backpressure_retries`` (or the client-level default) allows.
         """
         body: Dict[str, object] = {"benchmark": benchmark, "policy": policy,
                                    "seed": seed, "priority": priority}
@@ -96,7 +128,21 @@ class ServiceClient:
             body["fault"] = fault
             if fault_seconds is not None:
                 body["fault_seconds"] = fault_seconds
-        return self._checked("POST", "/jobs", body)["job"]
+        budget = (self.backpressure_retries if backpressure_retries is None
+                  else max(0, int(backpressure_retries)))
+        while True:
+            try:
+                return self._checked("POST", "/jobs", body)["job"]
+            except ServiceError as exc:
+                if exc.status != 429 or budget <= 0:
+                    raise
+                budget -= 1
+                delay = float(exc.payload.get("retry_after_s", 1.0))
+                time.sleep(min(max(delay, 0.0), self.MAX_RETRY_AFTER_S))
+
+    def workers(self) -> List[Dict[str, object]]:
+        """Registered cluster workers (coordinator mode; 404 otherwise)."""
+        return self._checked("GET", "/workers")["workers"]
 
     def jobs(self) -> List[Dict[str, object]]:
         return self._checked("GET", "/jobs")["jobs"]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import signal
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -58,6 +59,7 @@ class Job:
     attempts: int = 0
     error: str = ""
     source: str = ""            #: "store" | "worker" once DONE
+    worker: str = ""            #: cluster worker id executing this job
     cancel_requested: bool = False
     submitted: float = 0.0
     started: float = 0.0
@@ -150,6 +152,23 @@ def normalize_submission(body: Dict[str, object]) -> Dict[str, object]:
         payload["fault"] = fault
         payload["fault_seconds"] = float(body.get("fault_seconds", 30.0))
     return payload
+
+
+def pool_child_init() -> None:
+    """Process-pool initializer: detach from the parent's signal plumbing.
+
+    Pool children are forked from a server/worker whose asyncio loop
+    routes SIGTERM/SIGINT through a wakeup fd (``add_signal_handler``).
+    A child inherits both the C-level handler and the *shared* wakeup
+    socketpair, so signalling a child (e.g. :func:`tear_down_pool`
+    terminating a wedged simulation) would write into the parent's
+    wakeup fd and spuriously trigger the parent's own drain handler.
+    Restoring default dispositions makes a child's SIGTERM kill only
+    the child.
+    """
+    signal.set_wakeup_fd(-1)
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, signal.SIG_DFL)
 
 
 def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:

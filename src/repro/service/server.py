@@ -54,6 +54,7 @@ from repro.service.jobs import (
     config_from_payload,
     execute_cell,
     normalize_submission,
+    pool_child_init,
 )
 from repro.service.store import ResultStore
 from repro.simulator import cache as result_cache
@@ -114,10 +115,20 @@ class SimulationServer:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def _make_pool(self) -> Optional[ProcessPoolExecutor]:
+        """Execution backend hook: the local process pool.
+
+        :class:`~repro.service.cluster.Coordinator` overrides this to
+        return ``None`` — a coordinator never simulates locally, it
+        dispatches to registered workers.
+        """
+        return ProcessPoolExecutor(max_workers=self.worker_count,
+                                   initializer=pool_child_init)
+
     async def start(self, host: str = "127.0.0.1",
                     port: int = DEFAULT_PORT) -> Tuple[str, int]:
         """Open the pool and the listening socket; returns (host, port)."""
-        self._pool = ProcessPoolExecutor(max_workers=self.worker_count)
+        self._pool = self._make_pool()
         self._server = await asyncio.start_server(self._handle_client,
                                                   host, port)
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
@@ -307,24 +318,12 @@ class SimulationServer:
         """
         async with self._pool_lock:
             old, self._pool = self._pool, ProcessPoolExecutor(
-                max_workers=self.worker_count)
+                max_workers=self.worker_count,
+                initializer=pool_child_init)
         if old is None:
             return
-
-        def _tear_down(pool: ProcessPoolExecutor) -> None:
-            processes = list(getattr(pool, "_processes", {}).values())
-            for proc in processes:
-                try:
-                    proc.terminate()
-                except (OSError, ValueError):
-                    pass
-            try:
-                pool.shutdown(wait=False)
-            except Exception:  # noqa: BLE001 - best-effort teardown
-                pass
-
         await asyncio.get_event_loop().run_in_executor(
-            None, _tear_down, old)
+            None, tear_down_pool, old)
 
     # ------------------------------------------------------------------
     # request handling
@@ -443,10 +442,28 @@ class SimulationServer:
             writer.close()
 
 
+def tear_down_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers and discard it (crash/timeout path).
+
+    Shared by the server's :meth:`SimulationServer._reset_pool` and the
+    cluster worker node: a wedged simulation must not outlive its job.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for proc in processes:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):
+            pass
+    try:
+        pool.shutdown(wait=False)
+    except Exception:  # noqa: BLE001 - best-effort teardown
+        pass
+
+
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             403: "Forbidden", 404: "Not Found", 409: "Conflict",
-            429: "Too Many Requests", 500: "Internal Server Error",
-            503: "Service Unavailable"}
+            410: "Gone", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 async def _read_request(reader: asyncio.StreamReader

@@ -1,0 +1,263 @@
+"""Chaos tests for the simulation cluster (real subprocess fleets).
+
+Every test here spins up a real coordinator + real worker processes
+via :mod:`tests.cluster_harness` and then breaks something on purpose:
+
+* SIGKILL a worker mid-cell — the coordinator retries the cell on a
+  survivor and the final stats are *bit-identical* to a single-node
+  run, with exactly one blob per run digest across every shard;
+* SIGSTOP a worker (partition) — heartbeats lapse, the coordinator
+  reaps it and reroutes, and on SIGCONT the zombie re-registers;
+* injected ``fault: crash`` / ``fault: hang`` cells — the retry
+  *budget* ladder (worker-reported failures), distinct from the
+  worker-*loss* ladder which never spends the budget;
+* SIGTERM the whole fleet — backlog finishes, everything exits 0.
+
+The correctness bar throughout: cluster execution must be
+observationally identical to ``run_benchmark`` on one machine —
+same stats dict, same canonical digest, one execution per digest.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service.cluster import HashRing
+from repro.service.jobs import JobState
+from repro.service.store import ResultStore
+from repro.simulator.runner import run_benchmark
+
+from tests.cluster_harness import BIG_CELL, SMALL_CELL, Cluster
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep golden runs in this test's tmp dir, manifests off."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "local-cache"))
+    monkeypatch.setenv("REPRO_NO_MANIFEST", "1")
+
+
+def golden(cell, seed=1):
+    """The single-node truth: an uncached in-process run of ``cell``."""
+    return run_benchmark(use_cache=False, seed=seed, **cell).to_dict()
+
+
+def cell_key(cell, seed=1):
+    return ResultStore.cell_key(cell["benchmark"], cell["policy"],
+                                cell["instructions"], cell["warmup"],
+                                seed=seed)
+
+
+class TestDegenerateSingleWorker:
+    def test_one_worker_is_bit_identical_to_local(self, tmp_path):
+        with Cluster(tmp_path, workers=1) as c:
+            client = c.client()
+            job = client.submit(**SMALL_CELL)
+            done = client.wait(job["id"], timeout=60)
+            assert done["state"] == JobState.DONE
+            assert done["worker"] == "w0"
+            assert done["key"] == cell_key(SMALL_CELL)
+            stats = client.result(job["id"])["stats"]
+            assert stats == golden(SMALL_CELL)
+            # the blob landed on the (only) shard under the same digest
+            stored = c.shard_stats("w0", done["key"])
+            assert stored == stats
+            assert c.cluster_blob_counts() == {done["key"]: 1}
+
+    def test_resubmit_is_cluster_store_hit(self, tmp_path):
+        with Cluster(tmp_path, workers=2) as c:
+            client = c.client()
+            first = client.wait(client.submit(**SMALL_CELL)["id"],
+                                timeout=60)
+            second = client.wait(client.submit(**SMALL_CELL)["id"],
+                                 timeout=60)
+            assert first["state"] == second["state"] == JobState.DONE
+            assert second["source"] == "store"
+            counters = c.health()["counters"]
+            assert counters["executed"] == 1
+            assert counters["store_hits"] == 1
+            assert counters["shard_hits"] == 1
+            assert c.cluster_blob_counts() == {first["key"]: 1}
+
+    def test_inflight_duplicate_coalesces_cluster_wide(self, tmp_path):
+        with Cluster(tmp_path, workers=2) as c:
+            client = c.client()
+            first = client.submit(**BIG_CELL)
+            dup = client.submit(**BIG_CELL)   # while the first runs
+            assert dup["id"] == first["id"]
+            done = client.wait(first["id"], timeout=120)
+            assert done["state"] == JobState.DONE
+            assert c.health()["counters"]["executed"] == 1
+
+
+class TestKillWorkerMidJob:
+    def test_sigkill_mid_cell_retries_on_survivor_bit_identical(
+            self, tmp_path):
+        cells = [(BIG_CELL, 1)] + [(SMALL_CELL, s) for s in range(2, 7)]
+        with Cluster(tmp_path, workers=3) as c:
+            client = c.client()
+            # the big cell goes first, at top priority, so it is
+            # running when the axe falls
+            big = client.submit(priority=10, **BIG_CELL)
+            ids = {(id(BIG_CELL), 1): big["id"]}
+            for cell, seed in cells[1:]:
+                ids[(id(cell), seed)] = client.submit(seed=seed,
+                                                      **cell)["id"]
+            running = c.wait_state(big["id"], JobState.RUNNING)
+            victim = running["worker"]
+            assert victim in c.workers
+            c.kill(victim)
+
+            done = c.wait_all_done(list(ids.values()), timeout=120)
+            by_id = {j["id"]: j for j in done}
+            assert all(j["state"] == JobState.DONE for j in done)
+            # the killed attempt did not spend the retry budget and the
+            # cell finished on a survivor
+            big_done = by_id[big["id"]]
+            assert big_done["worker"] != victim
+            assert big_done["attempts"] == 1
+
+            # bit-identical to single-node truth, every cell
+            for cell, seed in cells:
+                job = by_id[ids[(id(cell), seed)]]
+                assert (client.result(job["id"])["stats"]
+                        == golden(cell, seed=seed))
+
+            # exactly one blob per unique run digest, cluster-wide —
+            # counting the dead worker's surviving shard files too
+            expected = {cell_key(cell, seed=seed)
+                        for cell, seed in cells}
+            counts = c.cluster_blob_counts()
+            assert set(counts) == expected
+            assert set(counts.values()) == {1}
+
+            counters = c.health()["counters"]
+            assert counters["executed"] == len(cells)
+            assert counters["workers_lost"] >= 1
+            assert counters["requeues"] >= 1
+            assert len(c.alive_worker_ids()) == 2
+
+
+class TestPartition:
+    def test_sigstop_lapses_heartbeat_reroutes_and_zombie_rejoins(
+            self, tmp_path):
+        with Cluster(tmp_path, workers=2) as c:
+            client = c.client()
+            job = client.submit(**BIG_CELL)
+            running = c.wait_state(job["id"], JobState.RUNNING)
+            victim = running["worker"]
+            survivor = next(n for n in c.workers if n != victim)
+            c.pause(victim)   # partition: alive but silent
+
+            done = client.wait(job["id"], timeout=120)
+            assert done["state"] == JobState.DONE
+            assert done["worker"] == survivor
+            assert done["attempts"] == 1   # loss, not budget
+            assert client.result(job["id"])["stats"] == golden(BIG_CELL)
+
+            counters = c.health()["counters"]
+            assert counters["heartbeat_expiries"] >= 1
+            assert counters["workers_lost"] >= 1
+            assert c.alive_worker_ids() == [survivor]
+
+            # the partition heals: the zombie's next heartbeat gets
+            # 410 and it re-registers from scratch
+            c.resume(victim)
+            c.wait_alive(2)
+            assert set(c.alive_worker_ids()) == set(c.workers)
+
+
+class TestScheduling:
+    def test_idle_worker_steals_from_busy_shard_owner(self, tmp_path):
+        cell = dict(SMALL_CELL, instructions=20000)
+        ring = HashRing()
+        ring.add("w0")
+        ring.add("w1")
+        seeds, s = [], 1
+        while len(seeds) < 4:
+            if ring.owner(cell_key(cell, seed=s)) == "w0":
+                seeds.append(s)
+            s += 1
+        with Cluster(tmp_path, workers=2) as c:
+            client = c.client()
+            ids = [client.submit(seed=s, **cell)["id"] for s in seeds]
+            done = c.wait_all_done(ids, timeout=120)
+            assert all(j["state"] == JobState.DONE for j in done)
+            # all four cells are owned by w0 (1 slot): w1 must have
+            # stolen at least one rather than idling
+            assert c.health()["counters"]["steals"] >= 1
+            by_name = {w["id"]: w for w in c.client().workers()}
+            assert by_name["w1"]["executed"] >= 1
+            for s, job in zip(seeds, done):
+                assert (client.result(job["id"])["stats"]
+                        == golden(cell, seed=s))
+
+    def test_backlog_waits_for_first_worker_then_drains(self, tmp_path):
+        with Cluster(tmp_path, workers=0) as c:
+            client = c.client()
+            ids = [client.submit(seed=s, **SMALL_CELL)["id"]
+                   for s in (1, 2)]
+            time.sleep(0.5)
+            assert all(client.status(i)["state"] == JobState.QUEUED
+                       for i in ids)
+            c.add_worker()
+            c.wait_alive(1)
+            done = c.wait_all_done(ids, timeout=120)
+            assert all(j["state"] == JobState.DONE for j in done)
+            assert all(j["worker"] == "w0" for j in done)
+
+
+class TestInjectedFaults:
+    def test_crash_fault_spends_budget_then_fails_fleet_survives(
+            self, tmp_path):
+        with Cluster(tmp_path, workers=2, retries=1,
+                     allow_faults=True) as c:
+            client = c.client()
+            job = client.submit(fault="crash", **SMALL_CELL)
+            done = client.wait(job["id"], timeout=120)
+            assert done["state"] == JobState.FAILED
+            assert done["attempts"] == 2    # initial + 1 retried attempt
+            counters = c.health()["counters"]
+            assert counters["worker_crashes"] >= 2
+            assert counters["workers_lost"] == 0   # pool died, not worker
+            assert len(c.alive_worker_ids()) == 2
+            # the fleet still executes honest work afterwards
+            ok = client.wait(client.submit(**SMALL_CELL)["id"],
+                             timeout=60)
+            assert ok["state"] == JobState.DONE
+
+    def test_hang_fault_times_out_and_fails(self, tmp_path):
+        with Cluster(tmp_path, workers=2, retries=0, timeout=0.5,
+                     allow_faults=True) as c:
+            client = c.client()
+            job = client.submit(fault="hang", fault_seconds=30,
+                                **SMALL_CELL)
+            done = client.wait(job["id"], timeout=60)
+            assert done["state"] == JobState.FAILED
+            assert c.health()["counters"]["timeouts"] >= 1
+            assert len(c.alive_worker_ids()) == 2
+
+
+class TestFleetDrain:
+    def test_sigterm_fleet_finishes_backlog_and_exits_zero(
+            self, tmp_path):
+        c = Cluster(tmp_path, workers=2)
+        try:
+            c.start()
+            client = c.client()
+            ids = [client.submit(seed=s, **SMALL_CELL)["id"]
+                   for s in (1, 2, 3)]
+            codes = c.drain_fleet()   # SIGTERM with the backlog queued
+            assert codes == {"coordinator": 0, "w0": 0, "w1": 0}
+            tail = c.coordinator.stdout.read()
+            assert "drained cleanly" in tail
+            # the backlog was finished and persisted before exit
+            expected = {cell_key(SMALL_CELL, seed=s) for s in (1, 2, 3)}
+            counts = c.cluster_blob_counts()
+            assert set(counts) == expected
+            assert set(counts.values()) == {1}
+            assert len(ids) == 3
+        finally:
+            c.stop()

@@ -1,0 +1,135 @@
+"""Property tests for the consistent-hash shard ring.
+
+The cluster's warm-fleet claim rests on three :class:`HashRing`
+properties, checked here with hypothesis over 1–16 workers:
+
+* **balance** — with 128 virtual nodes per worker, no worker owns more
+  than a small multiple of its fair share of keys;
+* **minimal remapping** — adding a worker moves keys only *onto* it;
+  removing a worker moves keys only *off* it; everything else stays
+  put (this is what makes membership churn cheap);
+* **insertion-order independence** — ownership is a pure function of
+  the member set, so a coordinator restart or re-registration storm
+  cannot silently reshuffle the shards.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.cluster import HashRing
+
+names = st.lists(
+    st.text(alphabet=string.ascii_lowercase + string.digits,
+            min_size=1, max_size=12),
+    min_size=1, max_size=16, unique=True)
+
+keys = st.lists(
+    st.text(alphabet="0123456789abcdef", min_size=8, max_size=40),
+    min_size=1, max_size=200, unique=True)
+
+
+def build(nodes):
+    ring = HashRing()
+    for node in nodes:
+        ring.add(node)
+    return ring
+
+
+def owners(ring, key_list):
+    return {k: ring.owner(k) for k in key_list}
+
+
+class TestOwnership:
+    @given(nodes=names, key=st.text(min_size=1, max_size=64))
+    def test_owner_is_a_member(self, nodes, key):
+        ring = build(nodes)
+        assert ring.owner(key) in set(nodes)
+
+    @given(nodes=names, key_list=keys)
+    def test_ownership_is_insertion_order_independent(self, nodes,
+                                                      key_list):
+        forward = owners(build(nodes), key_list)
+        backward = owners(build(list(reversed(nodes))), key_list)
+        assert forward == backward
+
+    @given(nodes=names)
+    def test_add_remove_are_idempotent(self, nodes):
+        ring = build(nodes)
+        ring.add(nodes[0])
+        assert sorted(ring.nodes) == sorted(nodes)
+        ring.remove("not-a-member")
+        assert sorted(ring.nodes) == sorted(nodes)
+
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        assert ring.owner("anything") is None
+        assert ring.preference("anything") == []
+
+
+class TestBalance:
+    @settings(max_examples=25, deadline=None)
+    @given(nodes=names)
+    def test_load_within_tolerance(self, nodes):
+        """2000 keys over 1-16 workers: no worker is a hot shard.
+
+        With 128 virtual points per node the per-node load has a
+        relative standard deviation around 1/sqrt(128) ~ 9%, so a
+        2.5x-mean ceiling and a mean/4 floor are far outside honest
+        variation but catch any structural imbalance.
+        """
+        ring = build(nodes)
+        counts = {n: 0 for n in nodes}
+        for i in range(2000):
+            counts[ring.owner("key-%d" % i)] += 1
+        mean = 2000 / len(nodes)
+        assert max(counts.values()) <= 2.5 * mean
+        assert min(counts.values()) >= mean / 4
+
+
+class TestMinimalRemap:
+    @settings(max_examples=50, deadline=None)
+    @given(nodes=names, key_list=keys,
+           newcomer=st.text(alphabet=string.ascii_uppercase,
+                            min_size=1, max_size=12))
+    def test_join_remaps_only_onto_newcomer(self, nodes, key_list,
+                                            newcomer):
+        ring = build(nodes)
+        before = owners(ring, key_list)
+        ring.add(newcomer)
+        after = owners(ring, key_list)
+        for key in key_list:
+            if after[key] != before[key]:
+                assert after[key] == newcomer
+
+    @settings(max_examples=50, deadline=None)
+    @given(nodes=names, key_list=keys, data=st.data())
+    def test_leave_remaps_only_keys_of_the_leaver(self, nodes, key_list,
+                                                  data):
+        ring = build(nodes)
+        leaver = data.draw(st.sampled_from(nodes))
+        before = owners(ring, key_list)
+        ring.remove(leaver)
+        if len(nodes) == 1:
+            assert all(ring.owner(k) is None for k in key_list)
+            return
+        after = owners(ring, key_list)
+        for key in key_list:
+            if before[key] == leaver:
+                assert after[key] != leaver
+            else:
+                assert after[key] == before[key]
+
+    @settings(max_examples=25, deadline=None)
+    @given(nodes=names, key_list=keys,
+           newcomer=st.text(alphabet=string.ascii_uppercase,
+                            min_size=1, max_size=12))
+    def test_join_then_leave_is_identity(self, nodes, key_list, newcomer):
+        ring = build(nodes)
+        before = owners(ring, key_list)
+        ring.add(newcomer)
+        ring.remove(newcomer)
+        assert owners(ring, key_list) == before

@@ -1,0 +1,183 @@
+"""Error-path tests for :class:`ServiceClient` against a hostile server.
+
+A scripted raw-TCP server answers each connection with exactly the
+bytes the test chose — valid backpressure responses, truncated
+payloads, non-HTTP garbage — pinning the client's error taxonomy:
+
+* 429 queue-full is retried per ``backpressure_retries`` (sleeping the
+  server-suggested, capped ``retry_after_s``) and surfaces as
+  :class:`ServiceError` with ``status == 429`` once the budget is out;
+* a connection that cannot be opened stays ``OSError`` — the caller
+  can distinguish "service down" from "service unhappy";
+* a response the client cannot parse at all (garbage status line,
+  body cut short mid-stream) is ``ServiceError`` with ``status == 0``;
+* an HTTP-valid response whose body is not JSON is ``ServiceError``
+  carrying the real HTTP status and a body excerpt.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+CELL = dict(benchmark="noop", policy="baseline", instructions=2000,
+            warmup=300)
+
+
+def http_bytes(status, payload, reason="OK"):
+    body = json.dumps(payload).encode("utf-8")
+    head = ("HTTP/1.1 %d %s\r\nContent-Type: application/json\r\n"
+            "Content-Length: %d\r\nConnection: close\r\n\r\n"
+            % (status, reason, len(body)))
+    return head.encode("latin-1") + body
+
+
+class ScriptedServer:
+    """Answers the i-th connection with ``responses[i]``, verbatim."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.requests = []
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(len(self.responses))
+        self.port = self.sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        for blob in self.responses:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            conn.settimeout(10)
+            try:
+                self.requests.append(self._read_request(conn))
+                conn.sendall(blob)
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    @staticmethod
+    def _read_request(conn):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return data
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(rest) < length:
+            rest += conn.recv(4096)
+        return head + b"\r\n\r\n" + rest
+
+    def close(self):
+        self.sock.close()
+        self.thread.join(timeout=5)
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def make(responses):
+        server = ScriptedServer(responses)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+JOB = {"job": {"id": "j1", "state": "queued"}}
+FULL = {"error": "queue full", "retry_after_s": 0.05}
+
+
+class TestBackpressureRetry:
+    def test_429_is_retried_then_succeeds(self, scripted):
+        server = scripted([http_bytes(429, FULL, "Too Many Requests"),
+                           http_bytes(202, JOB, "Accepted")])
+        client = ServiceClient(port=server.port, backpressure_retries=2)
+        t0 = time.monotonic()
+        job = client.submit(**CELL)
+        assert job["id"] == "j1"
+        assert time.monotonic() - t0 >= 0.05   # slept retry_after_s
+        assert len(server.requests) == 2
+
+    def test_429_budget_exhausted_raises(self, scripted):
+        server = scripted([http_bytes(429, FULL, "Too Many Requests")] * 2)
+        client = ServiceClient(port=server.port)
+        with pytest.raises(ServiceError) as err:
+            client.submit(backpressure_retries=1, **CELL)
+        assert err.value.status == 429
+        assert len(server.requests) == 2
+
+    def test_no_budget_fails_fast(self, scripted):
+        server = scripted([http_bytes(429, FULL, "Too Many Requests")])
+        client = ServiceClient(port=server.port)
+        with pytest.raises(ServiceError) as err:
+            client.submit(**CELL)
+        assert err.value.status == 429
+        assert len(server.requests) == 1
+
+    def test_retry_after_is_capped(self, scripted):
+        absurd = {"error": "queue full", "retry_after_s": 3600.0}
+        server = scripted([http_bytes(429, absurd, "Too Many Requests"),
+                           http_bytes(202, JOB, "Accepted")])
+        client = ServiceClient(port=server.port, backpressure_retries=1)
+        client.MAX_RETRY_AFTER_S = 0.05   # instance-level cap override
+        t0 = time.monotonic()
+        assert client.submit(**CELL)["id"] == "j1"
+        assert time.monotonic() - t0 < 5.0   # not the suggested hour
+
+
+class TestTransportErrors:
+    def test_connection_refused_is_oserror(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()   # nothing listens here now
+        client = ServiceClient(port=port, timeout=2.0)
+        with pytest.raises(OSError):
+            client.health()
+
+    def test_truncated_body_is_status_zero(self, scripted):
+        blob = (b"HTTP/1.1 200 OK\r\nContent-Length: 9999\r\n\r\n"
+                b'{"job": {"id"')
+        server = scripted([blob])
+        client = ServiceClient(port=server.port, timeout=5.0)
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.status == 0
+        assert "malformed response" in str(err.value)
+
+    def test_garbage_status_line_is_status_zero(self, scripted):
+        server = scripted([b"NOT HTTP AT ALL\r\n\r\nwhatever"])
+        client = ServiceClient(port=server.port, timeout=5.0)
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.status == 0
+
+    def test_non_json_body_keeps_http_status(self, scripted):
+        body = b"<html>Internal Server Error</html>"
+        blob = (b"HTTP/1.1 500 Internal Server Error\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(body), body))
+        server = scripted([blob])
+        client = ServiceClient(port=server.port, timeout=5.0)
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.status == 500
+        assert "Internal Server Error" in err.value.payload["body"]
