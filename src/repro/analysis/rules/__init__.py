@@ -1,11 +1,13 @@
 """Rule registry for ``repro lint``.
 
-Six rule families guard the properties the reproduction depends on:
+Seven rule families guard the properties the reproduction depends on:
 determinism (no entropy on stat-affecting paths), layering (the
 architecture DAG), hot-path hygiene (``__slots__`` on per-event
-records), stats parity (the event-horizon bit-identity invariant),
-config coherence (field reads match field definitions), and telemetry
-imports (hot paths see only the zero-overhead no-op handle).
+records), stats parity (the event-horizon bit-identity invariant,
+checked for both simulation cores), fast-core allocation (no per-event
+record objects inside the flat-array hot loops), config coherence
+(field reads match field definitions), and telemetry imports (hot
+paths see only the zero-overhead no-op handle).
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.analysis.rules.determinism import (
     UnseededRngRule,
     WallClockRule,
 )
+from repro.analysis.rules.fastcore_alloc import FastcoreAllocRule
 from repro.analysis.rules.hotpath import AttrOutsideInitRule, MissingSlotsRule
 from repro.analysis.rules.layering import LayeringRule
 from repro.analysis.rules.stats_parity import StatsParityRule
@@ -36,6 +39,7 @@ ALL_RULES: List[Rule] = [
     MissingSlotsRule(),
     AttrOutsideInitRule(),
     StatsParityRule(),
+    FastcoreAllocRule(),
     ConfigUnknownFieldRule(),
     ConfigUnusedFieldRule(),
     TelemetryNoopImportRule(),
@@ -66,6 +70,7 @@ __all__ = [
     "AttrOutsideInitRule",
     "ConfigUnknownFieldRule",
     "ConfigUnusedFieldRule",
+    "FastcoreAllocRule",
     "LayeringRule",
     "MissingSlotsRule",
     "SetIterationRule",

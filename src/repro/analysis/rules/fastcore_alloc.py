@@ -1,0 +1,91 @@
+"""Fast-core allocation rule: no per-event objects in the hot loops.
+
+The flat-array core (DESIGN.md §15) exists precisely because per-entry
+record objects — :class:`FTQEntry` per fetched block,
+:class:`ControlFlowEvent` per walked edge — dominate the reference
+core's profile. Its contract is that FTQ slots, backend slots, and
+control-flow steps live in preallocated parallel arrays, with exactly
+two ``FTQEntry`` *proxy* objects built once in ``__init__`` and reused
+(their fields overwritten per call) wherever a prefetcher or hook
+demands the object API.
+
+This rule pins that down structurally: inside
+``simulator.fastcore``, calling ``FTQEntry(...)`` or
+``ControlFlowEvent(...)`` anywhere other than ``__init__`` is flagged.
+A future edit that "fixes" a fast-core bug by materializing a real
+entry in the decode or retire path would silently reintroduce the
+allocation rate the backend was built to eliminate — long before the
+bench regression gate could attribute the slowdown.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from repro.analysis.engine import Finding, ModuleInfo, Project, Rule
+
+#: the fast core module (suffix-matched, like every module anchor here)
+FASTCORE_MODULE_SUFFIX = "simulator.fastcore"
+
+#: per-event record classes the flat arrays replace
+FORBIDDEN_ALLOCS = frozenset({"FTQEntry", "ControlFlowEvent"})
+
+#: construction-time methods where proxy allocation is sanctioned
+ALLOWED_FUNCS = frozenset({"__init__", "__post_init__"})
+
+
+class FastcoreAllocRule(Rule):
+    """Forbid per-event record allocation inside the fast core."""
+
+    name = "fastcore-no-per-event-alloc"
+    description = (
+        "the flat-array core must not allocate FTQEntry/ControlFlowEvent "
+        "outside __init__; slots live in preallocated arrays and the two "
+        "reusable proxies cover every object-API consumer"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        name = module.name
+        if not (
+            name == FASTCORE_MODULE_SUFFIX
+            or name.endswith("." + FASTCORE_MODULE_SUFFIX)
+        ):
+            return
+        for class_name, func, lineno in _forbidden_calls(module.tree):
+            yield self.finding(
+                module,
+                lineno,
+                f"fast core allocates {class_name}() in {func}(); per-event "
+                f"records belong in the preallocated slot arrays — reuse "
+                f"the __init__-built proxies for object-API consumers",
+            )
+
+
+def _forbidden_calls(tree: ast.Module) -> List[Tuple[str, str, int]]:
+    """(class, enclosing func, line) for each hot-loop record allocation."""
+    out: List[Tuple[str, str, int]] = []
+    stack: List[str] = []
+
+    def walk(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.append(node.name)
+            for child in ast.iter_child_nodes(node):
+                walk(child)
+            stack.pop()
+            return
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in FORBIDDEN_ALLOCS
+            and stack
+            and stack[-1] not in ALLOWED_FUNCS
+        ):
+            out.append((node.func.id, stack[-1], node.lineno))
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    walk(tree)
+    return out

@@ -22,6 +22,12 @@ would silently diverge under skipping while every example-based test
 that happens to avoid idle stretches stays green. The reverse direction
 is checked too — a counter batch-applied in ``_fast_forward`` with no
 per-cycle counterpart is stale and equally suspect.
+
+The same invariant binds the flat-array core: ``FastMachine`` inlines
+its per-cycle loop into ``run`` (with counters localized and synced
+back through the ``st`` alias, which the mutation scan resolves) and
+carries its own ``_fast_forward``, so both machine classes are checked
+against the identical contract.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.analysis.engine import (
     Finding,
+    ModuleInfo,
     Project,
     Rule,
     ann_field_names,
@@ -43,6 +50,13 @@ MACHINE_MODULE_SUFFIX = "simulator.machine"
 MACHINE_CLASS = "Machine"
 STATS_MODULE_SUFFIX = "simulator.stats"
 STATS_CLASS = "SimulationStats"
+
+#: every simulation core bound by the bit-identity contract:
+#: (module suffix, class name). A new backend gets a row here.
+CORE_TARGETS = (
+    (MACHINE_MODULE_SUFFIX, MACHINE_CLASS),
+    ("simulator.fastcore", "FastMachine"),
+)
 
 #: the per-cycle path: functions executed every non-skipped cycle
 PER_CYCLE_FUNCS = ("run", "step", "_decode")
@@ -59,6 +73,11 @@ EVENT_GATED_COUNTERS = frozenset(
         "slots_retiring",
         "slots_bad_speculation",
         "slots_backend_bound",
+        # only moves when the IAG enqueues a wrong-path block, and
+        # _skippable returns 0 on any cycle the IAG would enqueue; the
+        # fast core mutates it inside run()'s inlined loop, the
+        # reference core inside _enqueue_next (off the per-cycle list)
+        "wrong_path_blocks",
     }
 )
 
@@ -71,26 +90,43 @@ class StatsParityRule(Rule):
 
     name = "stats-parity-fast-forward"
     description = (
-        "every SimulationStats counter mutated on Machine's per-cycle "
-        "path must be batch-applied in _fast_forward or declared "
-        "event-gated (bit-identical event-horizon invariant)"
+        "every SimulationStats counter mutated on a simulation core's "
+        "per-cycle path must be batch-applied in _fast_forward or "
+        "declared event-gated (bit-identical event-horizon invariant); "
+        "checked for both the reference and the flat-array core"
     )
     scope = "project"
 
     def check_project(self, project: Project) -> Iterable[Finding]:
         stats_module = project.get_by_suffix(STATS_MODULE_SUFFIX)
-        machine_module = project.get_by_suffix(MACHINE_MODULE_SUFFIX)
-        if stats_module is None or machine_module is None:
+        if stats_module is None:
             return  # linting a subtree without the simulator: nothing to do
         stats_class = find_class(stats_module.tree, STATS_CLASS)
-        machine_class = find_class(machine_module.tree, MACHINE_CLASS)
-        if stats_class is None or machine_class is None:
+        if stats_class is None:
             return
         counters = {
             name
             for name in ann_field_names(stats_class)
             if name not in NON_COUNTER_FIELDS
         }
+        for module_suffix, class_name in CORE_TARGETS:
+            machine_module = project.get_by_suffix(module_suffix)
+            if machine_module is None:
+                continue
+            machine_class = find_class(machine_module.tree, class_name)
+            if machine_class is None:
+                continue
+            yield from self._check_core(
+                machine_module, machine_class, class_name, counters
+            )
+
+    def _check_core(
+        self,
+        machine_module: ModuleInfo,
+        machine_class: ast.ClassDef,
+        class_name: str,
+        counters: Set[str],
+    ) -> Iterable[Finding]:
         methods = {
             node.name: node
             for node in machine_class.body
@@ -111,7 +147,7 @@ class StatsParityRule(Rule):
                 yield self.finding(
                     machine_module,
                     machine_class.lineno,
-                    f"'{MACHINE_CLASS}' mutates stats counters on the "
+                    f"'{class_name}' mutates stats counters on the "
                     f"per-cycle path but defines no {FAST_FORWARD_FUNC}()",
                 )
             return

@@ -52,16 +52,20 @@ class ITTAGEPredictor:
             [None] * (1 << log_entries) for _ in range(num_tables)
         ]
         self._ghist = [0] * (max(self.hist_lens) + 1)
-        self._idx_fold = [FoldedHistory(h, log_entries) for h in self.hist_lens]
-        self._tag_fold1 = [FoldedHistory(h, tag_bits) for h in self.hist_lens]
-        self._tag_fold2 = [FoldedHistory(h, tag_bits - 1) for h in self.hist_lens]
-        # flat (history length, fold) rows for the inlined history shift
-        # (same layout as TAGEPredictor._fold_rows)
+        # folded histories as flat mutable rows [value, hist_len, out_pos,
+        # compressed_bits, mask] — same layout (and rationale) as
+        # TAGEPredictor: row[0] is the live folded value
+
+        def _fold_row(h: int, bits: int) -> List[int]:
+            return [0, h, h % bits, bits, (1 << bits) - 1]
+
+        self._idx_rows = [_fold_row(h, log_entries) for h in self.hist_lens]
+        self._tag1_rows = [_fold_row(h, tag_bits) for h in self.hist_lens]
+        self._tag2_rows = [_fold_row(h, tag_bits - 1) for h in self.hist_lens]
         self._fold_rows = [
-            (self.hist_lens[t], f)
+            rows[t]
             for t in range(num_tables)
-            for f in (self._idx_fold[t], self._tag_fold1[t],
-                      self._tag_fold2[t])
+            for rows in (self._idx_rows, self._tag1_rows, self._tag2_rows)
         ]
         max_h = max(self.hist_lens)
         self._ghist_cap = 4 * max_h
@@ -77,12 +81,12 @@ class ITTAGEPredictor:
     def _index(self, pc: int, table: int) -> int:
         mask = (1 << self.log_entries) - 1
         return (pc ^ (pc >> self.log_entries)
-                ^ self._idx_fold[table].value) & mask
+                ^ self._idx_rows[table][0]) & mask
 
     def _tag(self, pc: int, table: int) -> int:
         mask = (1 << self.tag_bits) - 1
-        return (pc ^ self._tag_fold1[table].value
-                ^ (self._tag_fold2[table].value << 1)) & mask
+        return (pc ^ self._tag1_rows[table][0]
+                ^ (self._tag2_rows[table][0] << 1)) & mask
 
     # -- prediction -----------------------------------------------------------
     def predict(self, pc: int) -> Optional[int]:
@@ -95,10 +99,21 @@ class ITTAGEPredictor:
         self._base_idx = (pc >> 2) & ((1 << self.log_base_entries) - 1)
         prediction = self._base[self._base_idx]
         self._provider = None
+        # hoisted copies of _index/_tag (this loop runs per indirect)
+        log_entries = self.log_entries
+        idx_mask = (1 << log_entries) - 1
+        tag_mask = (1 << self.tag_bits) - 1
+        pc_idx = pc ^ (pc >> log_entries)
+        tables = self._tables
+        idx_rows = self._idx_rows
+        tag1_rows = self._tag1_rows
+        tag2_rows = self._tag2_rows
         for t in range(self.num_tables - 1, -1, -1):
-            idx = self._index(pc, t)
-            entry = self._tables[t][idx]
-            if entry is not None and entry.tag == self._tag(pc, t):
+            idx = (pc_idx ^ idx_rows[t][0]) & idx_mask
+            entry = tables[t][idx]
+            if entry is not None and entry.tag == (
+                    pc ^ tag1_rows[t][0]
+                    ^ (tag2_rows[t][0] << 1)) & tag_mask:
                 self._provider = t
                 self._provider_idx = idx
                 if entry.conf > 0 or prediction is None:
@@ -154,12 +169,12 @@ class ITTAGEPredictor:
         for bit_pos in (2, 3, 4, 5):
             bit = ((target >> bit_pos) ^ (target >> (bit_pos + 10))) & 1
             ghist.append(bit)
-            glen = len(ghist)
-            for h, f in fold_rows:
-                value = ((f.value << 1) | bit) ^ (
-                    ghist[glen - 1 - h] << f._out_pos)
-                value ^= value >> f.bits
-                f.value = value & f.mask
+            gend = len(ghist) - 1
+            for row in fold_rows:
+                value, h, out_pos, bits, mask = row
+                value = ((value << 1) | bit) ^ (ghist[gend - h] << out_pos)
+                value ^= value >> bits
+                row[0] = value & mask
         if len(ghist) > self._ghist_cap:
             del ghist[: len(ghist) - self._ghist_keep]
 

@@ -87,16 +87,22 @@ class TAGEPredictor:
         ]
         # global history as a list-backed shift register (most recent = end)
         self._ghist = [0] * (max(self.hist_lens) + 1)
-        self._idx_fold = [FoldedHistory(h, log_entries) for h in self.hist_lens]
-        self._tag_fold1 = [FoldedHistory(h, tag_bits) for h in self.hist_lens]
-        self._tag_fold2 = [FoldedHistory(h, tag_bits - 1) for h in self.hist_lens]
-        # flat (history length, fold) rows so _shift_history can apply the
-        # folded update inline instead of three method calls per table
+        # folded histories as flat mutable rows [value, hist_len, out_pos,
+        # compressed_bits, mask] (the FoldedHistory recurrence unrolled
+        # onto lists): row[0] is the live folded value, read by
+        # predict()/_index()/_tag() and advanced by _shift_history —
+        # list indexing beats per-fold attribute traffic on this path
+
+        def _fold_row(h: int, bits: int) -> List[int]:
+            return [0, h, h % bits, bits, (1 << bits) - 1]
+
+        self._idx_rows = [_fold_row(h, log_entries) for h in self.hist_lens]
+        self._tag1_rows = [_fold_row(h, tag_bits) for h in self.hist_lens]
+        self._tag2_rows = [_fold_row(h, tag_bits - 1) for h in self.hist_lens]
         self._fold_rows = [
-            (self.hist_lens[t], f)
+            rows[t]
             for t in range(num_tables)
-            for f in (self._idx_fold[t], self._tag_fold1[t],
-                      self._tag_fold2[t])
+            for rows in (self._idx_rows, self._tag1_rows, self._tag2_rows)
         ]
         max_h = max(self.hist_lens)
         self._ghist_cap = 4 * max_h
@@ -116,13 +122,13 @@ class TAGEPredictor:
     # -- indexing -----------------------------------------------------------
     def _index(self, pc: int, table: int) -> int:
         mask = (1 << self.log_entries) - 1
-        h = self._idx_fold[table].value
+        h = self._idx_rows[table][0]
         return (pc ^ (pc >> self.log_entries) ^ h) & mask
 
     def _tag(self, pc: int, table: int) -> int:
         mask = (1 << self.tag_bits) - 1
-        return (pc ^ self._tag_fold1[table].value
-                ^ (self._tag_fold2[table].value << 1)) & mask
+        return (pc ^ self._tag1_rows[table][0]
+                ^ (self._tag2_rows[table][0] << 1)) & mask
 
     # -- prediction -----------------------------------------------------------
     def predict(self, pc: int) -> bool:
@@ -137,20 +143,20 @@ class TAGEPredictor:
         tag_mask = (1 << self.tag_bits) - 1
         pc_idx = pc ^ (pc >> log_entries)
         tables = self._tables
-        idx_fold = self._idx_fold
-        tag_fold1 = self._tag_fold1
-        tag_fold2 = self._tag_fold2
+        idx_rows = self._idx_rows
+        tag1_rows = self._tag1_rows
+        tag2_rows = self._tag2_rows
 
         provider = None
         provider_idx = 0
         alt = base_pred
         provider_pred = base_pred
         for t in range(self.num_tables - 1, -1, -1):
-            idx = (pc_idx ^ idx_fold[t].value) & idx_mask
+            idx = (pc_idx ^ idx_rows[t][0]) & idx_mask
             entry = tables[t][idx]
             if entry is not None and entry.tag == (
-                    pc ^ tag_fold1[t].value
-                    ^ (tag_fold2[t].value << 1)) & tag_mask:
+                    pc ^ tag1_rows[t][0]
+                    ^ (tag2_rows[t][0] << 1)) & tag_mask:
                 if provider is None:
                     provider = t
                     provider_idx = idx
@@ -235,15 +241,16 @@ class TAGEPredictor:
         bit = 1 if taken else 0
         ghist = self._ghist
         ghist.append(bit)
-        glen = len(ghist)
+        gend = len(ghist) - 1
         # inlined FoldedHistory.update per row (hot: 3 folds x num_tables)
-        for h, f in self._fold_rows:
-            value = ((f.value << 1) | bit) ^ (ghist[glen - 1 - h] << f._out_pos)
-            value ^= value >> f.bits
-            f.value = value & f.mask
+        for row in self._fold_rows:
+            value, h, out_pos, bits, mask = row
+            value = ((value << 1) | bit) ^ (ghist[gend - h] << out_pos)
+            value ^= value >> bits
+            row[0] = value & mask
         # bound the history buffer
-        if glen > self._ghist_cap:
-            del ghist[: glen - self._ghist_keep]
+        if gend + 1 > self._ghist_cap:
+            del ghist[: gend + 1 - self._ghist_keep]
 
     # -- reporting ----------------------------------------------------------
     @property

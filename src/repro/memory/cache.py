@@ -136,14 +136,31 @@ class Cache:
 
         The caller is responsible for having checked MSHR capacity.
         """
+        evicted_line, evicted_state = self.fill_quick(
+            line, ready_cycle, is_instruction, source)
+        return AccessResult(hit=False, ready_cycle=ready_cycle,
+                            evicted_line=evicted_line,
+                            evicted_state=evicted_state)
+
+    def fill_quick(self, line: int, ready_cycle: int,
+                   is_instruction: bool = True, source: str = "fetch",
+                   ) -> "Tuple[Optional[int], Optional[CacheLineState]]":
+        """:meth:`fill` without the AccessResult wrapper.
+
+        Returns ``(evicted_line, evicted_state)``; fills sit on the miss
+        path of every level, so the per-call result object is measurable.
+        """
         num_sets = self.num_sets
         set_idx = line % num_sets
         tag = line // num_sets
-        ways = self._sets.setdefault(set_idx, {})
-        self._clock += 1
+        ways = self._sets.get(set_idx)
+        if ways is None:
+            ways = self._sets[set_idx] = {}
+        clock = self._clock + 1
+        self._clock = clock
         evicted_line = None
         evicted_state = None
-        if tag not in ways and len(ways) >= self.assoc:
+        if len(ways) >= self.assoc and tag not in ways:
             victim_tag = self.policy.victim(ways)
             evicted_state = ways.pop(victim_tag)
             evicted_line = victim_tag * num_sets + set_idx
@@ -151,7 +168,7 @@ class Cache:
             self._pending.pop(evicted_line, None)
             self.evictions += 1
         state = CacheLineState(
-            tag=tag, ready_cycle=ready_cycle, lru=self._clock,
+            tag=tag, ready_cycle=ready_cycle, lru=clock,
             is_instruction=is_instruction, source=source,
             unused_prefetch=(source == "prefetch"),
         )
@@ -159,9 +176,7 @@ class Cache:
         self._lines[line] = state
         self._pending[line] = ready_cycle
         heapq.heappush(self._fill_heap, (ready_cycle, line))
-        return AccessResult(hit=False, ready_cycle=ready_cycle,
-                            evicted_line=evicted_line,
-                            evicted_state=evicted_state)
+        return evicted_line, evicted_state
 
     def invalidate(self, line: int) -> None:
         """Drop a line (and its pending fill) if present."""

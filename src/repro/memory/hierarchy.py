@@ -272,7 +272,7 @@ class MemoryHierarchy:
         self.l2_data_misses += 1
         latency = self._l3_latency(line, cycle)
         ready = cycle + self._l2_hit + latency
-        self.l2.fill(line, ready, is_instruction=False)
+        self.l2.fill_quick(line, ready, is_instruction=False)
         return ready, False
 
     # ------------------------------------------------------------------
@@ -295,8 +295,8 @@ class MemoryHierarchy:
     # internals
     # ------------------------------------------------------------------
     def _fill_l1(self, line: int, ready: int, source: str) -> None:
-        result = self.l1i.fill(line, ready, is_instruction=True, source=source)
-        evicted = result.evicted_state
+        _, evicted = self.l1i.fill_quick(line, ready, is_instruction=True,
+                                         source=source)
         if evicted is not None and evicted.unused_prefetch:
             self.prefetch_useless += 1
 
@@ -314,7 +314,7 @@ class MemoryHierarchy:
             self.l2_inst_misses += 1
         latency = self._l3_latency(line, cycle)
         ready = cycle + l2_hit + latency
-        self.l2.fill(line, ready, is_instruction=is_instruction)
+        self.l2.fill_quick(line, ready, is_instruction=is_instruction)
         return l2_hit + latency, "l3+"
 
     def _l3_latency(self, line: int, cycle: int) -> int:
@@ -325,5 +325,5 @@ class MemoryHierarchy:
             return self._l3_hit + extra
         self.l3_misses += 1
         miss_latency = self._l3_hit + self._mem_lat
-        self.l3.fill(line, cycle + miss_latency)
+        self.l3.fill_quick(line, cycle + miss_latency)
         return miss_latency

@@ -39,7 +39,17 @@ class LRUPolicy(ReplacementPolicy):
 
     def victim(self, ways: Dict[int, "CacheLineState"]) -> int:
         """Pick the tag to evict from a full set."""
-        return min(ways, key=lambda tag: ways[tag].lru)
+        # explicit scan instead of min(..., key=lambda ...): victim
+        # selection sits on the cache-fill hot path and the closure call
+        # per way is measurable; first-minimum semantics are preserved
+        best_tag = -1
+        best_lru = None
+        for tag, state in ways.items():
+            lru = state.lru
+            if best_lru is None or lru < best_lru:
+                best_lru = lru
+                best_tag = tag
+        return best_tag
 
 
 class EmissaryPolicy(ReplacementPolicy):
@@ -68,11 +78,26 @@ class EmissaryPolicy(ReplacementPolicy):
 
     def victim(self, ways: Dict[int, "CacheLineState"]) -> int:
         """Pick the tag to evict from a full set."""
-        non_priority = {t: s for t, s in ways.items() if not s.p_bit}
-        if non_priority:
-            return min(non_priority, key=lambda tag: non_priority[tag].lru)
+        # single pass over the non-priority ways (first-minimum, like the
+        # former min-with-key over a filtered dict)
+        best_tag = None
+        best_lru = None
+        for tag, state in ways.items():
+            if state.p_bit:
+                continue
+            lru = state.lru
+            if best_lru is None or lru < best_lru:
+                best_lru = lru
+                best_tag = tag
+        if best_tag is not None:
+            return best_tag
         # every way is priority: fall back to plain LRU
-        return min(ways, key=lambda tag: ways[tag].lru)
+        for tag, state in ways.items():
+            lru = state.lru
+            if best_lru is None or lru < best_lru:
+                best_lru = lru
+                best_tag = tag
+        return best_tag
 
     def on_promote(self, line_state: "CacheLineState",
                    ways: Dict[int, "CacheLineState"]) -> bool:

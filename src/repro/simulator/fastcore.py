@@ -1,0 +1,2087 @@
+"""Flat-array fast core: the reference machine re-plumbed onto slabs.
+
+:class:`FastMachine` is a drop-in :class:`~repro.simulator.machine.Machine`
+(selected via ``MachineConfig.backend = "fast"``, ``--backend fast``, or
+``REPRO_BACKEND=fast``) that keeps the reference core's cycle semantics
+**bit-identical** while replacing its per-event Python objects with
+preallocated parallel arrays (DESIGN.md §15):
+
+* **FTQ ring** — instead of one :class:`~repro.frontend.ftq.FTQEntry`
+  per enqueued block, entries live in parallel ``array('q')`` slabs
+  (enqueue cycle, ready-at, starvation, wake distance, readiness count)
+  plus a flags ``bytearray`` and per-slot reusable line lists, indexed
+  by a monotonically increasing sequence number masked into a
+  power-of-two ring. A resteer flush *advances the head* (slots stay
+  referenced by the back end until retire/squash, so the tail never
+  rolls back); a per-enqueue guard checks the ring cannot overwrite the
+  oldest live slot.
+* **Back-end ring** — decoded blocks occupy parallel slabs (FTQ slot
+  seq, instruction count, retired count, decode cycle, wrong-path flag)
+  instead of ``InFlightBlock`` records; the :class:`BackendModel`
+  object is kept for its RNG, stall window, and counters, with
+  ``_occupancy`` maintained live so ``issue_queue_empty`` and the
+  timeline probe read the same values as on the reference core.
+* **Flat L1-I tag mirror** — a dense ``ready_cycle``-per-line list
+  (``1 << 60`` = not fast-hittable) mirrors the instruction cache, so
+  the FDIP hit test is one list index instead of a dict probe plus
+  three attribute reads. The mirror is maintained by wrapping the
+  hierarchy's ``_fill_l1`` per instance (fills and evictions) and by
+  resyncing the single touched line after every full
+  ``fetch_instruction`` call (which covers the useful/late
+  ``unused_prefetch`` flag transitions). The mirror engages only when
+  the iTLB is disabled — exactly the condition under which the
+  reference core uses its batched-hit path.
+* **Batched stall draws** — ``_fast_forward`` consumes its per-cycle
+  back-end stall draws through :func:`batch_stall_draws`, which
+  transplants the Mersenne-Twister state into numpy when numpy is
+  importable (CPython and numpy share the MT19937 stream and the
+  53-bit double construction, so the batch is bit-exact) and falls
+  back to the stdlib loop otherwise.
+
+Wrong-path walking, the BPU, the prefetchers, the FEC classifier, and
+the memory hierarchy itself are shared with the reference core — the
+speed comes from zero per-event allocation and flat state, not from
+different modelling. Retirement hooks that need an ``FTQEntry`` surface
+(FEC, EIP/RDIP training) receive one of two *recycled* proxy entries
+whose fields are restored from the slot arrays.
+
+Stats-parity contract: every ``SimulationStats`` counter, every RNG
+stream (walker, BPU, back-end stall, data stream, PDIP insert,
+EMISSARY promote), and the L1-I LRU clock sequence follow the exact
+reference-core order. Enforced by ``tests/test_golden_stats.py`` (both
+backends), ``tests/test_fastcore_differential.py`` (hypothesis
+differential fuzzer), and the ``stats-parity`` lint rule.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import List, Optional
+
+from repro.branch.bpu import MispredictKind
+from repro.core.fec import FECEvent, TriggerType
+from repro.core.pdip import PDIPController
+from repro.core.pdip_table import MASK_BITS
+from repro.frontend.ftq import FlatFTQView, FTQEntry
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.eip import EIPPrefetcher
+from repro.simulator.machine import DATA_LINE_BASE, Machine
+from repro.simulator.probe import TimelineProbe
+from repro.simulator.stats import SimulationStats
+from repro.utils import LINE_SHIFT
+from repro.workloads.layout import BranchKind
+from repro.workloads.walker import (SpeculativePath, _heaviest,
+                                    static_majority_successor)
+
+try:  # optional vectorized stall draws; the stdlib loop below is exact too
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container may not ship numpy
+    _np = None
+
+#: mirror value for "not fast-hittable" (absent, pending prefetch, or
+#: unused-prefetch lines); any real ready cycle is far below this
+_INF = 1 << 60
+
+_NONE = MispredictKind.NONE
+_BTB_MISS = MispredictKind.BTB_MISS
+_COND = MispredictKind.COND_MISPREDICT
+_INDIRECT = MispredictKind.INDIRECT_MISPREDICT
+_RETURN = MispredictKind.RETURN_MISPREDICT
+_FALLTHROUGH = BranchKind.FALLTHROUGH
+
+#: FTQ-slot flag bits
+_F_WRONG = 1
+_F_TAKEN = 2
+_F_BSTARVED = 4
+
+#: below this many draws the MT state transplant costs more than it saves
+_NUMPY_MIN_DRAWS = 32
+
+
+def _pdip_pairs(entry) -> list:
+    """Expanded ``(line, trigger_type)`` list for a PDIP entry.
+
+    Transcribes the expansion loop of ``PDIPTable.lookup`` exactly, so
+    the cached list equals what a live lookup would return. The cache is
+    sound because targets/masks change only inside ``PDIPTable.insert``,
+    which the fast core wraps to rebuild the affected set's mirrors.
+    """
+    pairs: list = []
+    append = pairs.append
+    for tgt in entry.targets:
+        base = tgt.line
+        ttype = tgt.trigger_type
+        append((base, ttype))
+        mask = tgt.mask
+        if mask:
+            for k in range(MASK_BITS):
+                if mask & (1 << k):
+                    append((base + k + 1, ttype))
+    return pairs
+
+
+def batch_stall_draws(rng, draws: int, p: float) -> int:
+    """Count successes of ``draws`` consecutive ``rng.random() < p`` trials.
+
+    Consumes exactly ``draws`` calls' worth of the Mersenne-Twister
+    stream. When numpy is importable and the batch is large enough, the
+    state is transplanted into ``numpy.random.RandomState`` (same
+    MT19937 core, same ``(a >> 5) * 2**26 + (b >> 6)) / 2**53`` double
+    construction, so the values are bit-identical), the batch is drawn
+    vectorized, and the advanced state is transplanted back.
+    """
+    if _np is not None and draws >= _NUMPY_MIN_DRAWS:
+        version, internal, gauss = rng.getstate()
+        if version == 3:
+            rs = _np.random.RandomState()
+            rs.set_state(("MT19937",
+                          _np.asarray(internal[:-1], dtype=_np.uint32),
+                          internal[-1]))
+            hits = int(_np.count_nonzero(rs.random_sample(draws) < p))
+            advanced = rs.get_state()
+            rng.setstate((version,
+                          tuple(int(w) for w in advanced[1])
+                          + (int(advanced[2]),),
+                          gauss))
+            return hits
+    rng_random = rng.random
+    hits = 0
+    for _ in range(draws):
+        if rng_random() < p:
+            hits += 1
+    return hits
+
+
+class FastMachine(Machine):
+    """Structure-of-arrays machine; bit-identical stats to the reference."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        cfg = self.config
+        layout = self.layout
+        blocks = layout.blocks
+        self._blocks = blocks
+
+        # -- per-block precomputed tables (indexed by bid) ----------------
+        self._blk_lines: List[List[int]] = [b.lines() for b in blocks]
+        self._blk_n = array("q", [b.num_instructions for b in blocks])
+        self._blk_branch = bytearray(
+            0 if b.kind is _FALLTHROUGH else 1 for b in blocks)
+        self._blk_obline = array("q",
+                                 [b.branch_pc >> LINE_SHIFT for b in blocks])
+        # branch-kind dispatch codes for the god loop's fused walker+BPU
+        # fast paths: 0 = fallthrough, 1 = conditional, 2 = everything
+        # else (direct/call/indirect/return take the full BPU call).
+        # Blocks with missing successor metadata are demoted to 2 so the
+        # generic path raises exactly like the reference walker would.
+        cond_kind = BranchKind.COND
+        codes = bytearray(len(blocks))
+        for i, b in enumerate(blocks):
+            if b.kind is _FALLTHROUGH and b.fallthrough is not None:
+                codes[i] = 0
+            elif (b.kind is cond_kind and b.fallthrough is not None
+                  and b.taken_target is not None
+                  and b.taken_bias is not None):
+                codes[i] = 1
+            else:
+                codes[i] = 2
+        self._blk_kindcode = codes
+        self._blk_ft = array("q", [-1 if b.fallthrough is None
+                                   else b.fallthrough for b in blocks])
+        self._blk_tt = array("q", [-1 if b.taken_target is None
+                                   else b.taken_target for b in blocks])
+        self._blk_bias = array("d", [0.0 if b.taken_bias is None
+                                     else b.taken_bias for b in blocks])
+        self._blk_bpc = array("q", [b.branch_pc for b in blocks])
+        self._blk_addr = array("q", [b.addr for b in blocks])
+        self._blk_end = array("q", [b.end_addr for b in blocks])
+        self._entry_bid = layout.entry_index().get
+
+        # -- FTQ slot ring -------------------------------------------------
+        # Slots stay live from enqueue until retire/squash (the back-end
+        # ring references them by sequence number), so capacity covers
+        # the ROB's worst case of single-instruction blocks plus the FTQ.
+        fcap = 1 << max(12, (cfg.rob_entries + cfg.ftq_depth).bit_length() + 1)
+        self._fcap = fcap
+        self._fmask = fcap - 1
+        self._fhead = 0  # monotonic sequence numbers; slot = seq & mask
+        self._ftail = 0
+        zeros = [0] * fcap
+        self._e_bid = array("q", zeros)
+        self._e_enq = array("q", zeros)
+        self._e_ready = array("q", zeros)
+        self._e_nready = array("q", zeros)
+        self._e_since = array("q", zeros)
+        self._e_starve = array("q", zeros)
+        self._e_flags = bytearray(fcap)
+        self._e_mis: List[object] = [_NONE] * fcap
+        self._e_rkind: List[object] = [None] * fcap
+        self._e_rtrig: List[object] = [None] * fcap
+        self._e_missed: List[List[int]] = [[] for _ in range(fcap)]
+        self._e_pending: List[List[int]] = [[] for _ in range(fcap)]
+        self._e_deferred: List[List[int]] = [[] for _ in range(fcap)]
+
+        # -- back-end slot ring -------------------------------------------
+        bcap = 1 << max(10, cfg.rob_entries.bit_length() + 1)
+        self._bmask = bcap - 1
+        self._bhead = 0
+        self._btail = 0
+        bzeros = [0] * bcap
+        self._b_seq = array("q", bzeros)
+        self._b_instr = array("q", bzeros)
+        self._b_retired = array("q", bzeros)
+        self._b_dec = array("q", bzeros)
+        self._b_wrong = bytearray(bcap)
+
+        # -- pending-resteer scalars (replaces the _Resteer record) --------
+        self._pr_on = False
+        self._pr_kind = _NONE
+        self._pr_trig = 0
+        self._pr_sched = -1  # -1 = not yet scheduled
+
+        # counter-compatible FTQ facade for probes/telemetry/diagnostics
+        self.ftq = FlatFTQView(cfg.ftq_depth, self._ftq_occupancy)
+
+        # skip base-class no-op prefetcher hooks entirely
+        pf = self.prefetcher
+        pf_type = type(pf)
+        self._pf_enqueue = (
+            pf.on_ftq_enqueue
+            if pf_type.on_ftq_enqueue is not Prefetcher.on_ftq_enqueue
+            else None)
+        self._pf_retire = (
+            pf.on_retire
+            if pf_type.on_retire is not Prefetcher.on_retire else None)
+        self._pf_fec = (
+            pf.on_fec_events
+            if pf_type.on_fec_events is not Prefetcher.on_fec_events else None)
+
+        # recycled FTQEntry proxies for the enqueue/retire hook surfaces
+        proto = blocks[0] if blocks else None
+        self._enq_proxy = FTQEntry(proto, [], 0)
+        self._ret_proxy = FTQEntry(proto, [], 0)
+        self._lr_one = {0: 0}   # stands in for line_ready at retirement
+        self._lr_empty: dict = {}
+
+        # inlined correct-path walking (PathWalker surface); foreign
+        # walkers (e.g. trace replayers) fall back to next_event()
+        self._walker_outcome = getattr(self.walker, "_outcome", None)
+
+        # -- flat L1-I tag mirror ------------------------------------------
+        hierarchy = self.hierarchy
+        self._use_mirror = hierarchy.itlb is None
+        max_line = 0
+        for lines in self._blk_lines:
+            if lines and lines[-1] > max_line:
+                max_line = lines[-1]
+        # headroom for prefetchers that run past the last block line
+        # (next-line degree, EIP deltas); out-of-range fills are simply
+        # not mirrored, which only costs them the fast-hit path
+        nlines = max_line + 66
+        self._l1_ready: List[int] = [_INF] * nlines
+        self._l1_state: List[object] = [None] * nlines
+        self._l1_lines_get = hierarchy.l1i._lines.get
+        for line in hierarchy.l1i._lines:
+            if line < nlines:
+                self._sync_line(line)
+        self._install_fill_hook()
+
+        # -- wrong-path successor tables -----------------------------------
+        # ``static_majority_successor`` is a pure function of the block
+        # for every kind except CALL (pushes a return address) and RETURN
+        # (pops one), so the wrong-path walk becomes three array reads.
+        # mode: 0 = plain successor, 1 = successor + stack push, 2 = pop.
+        nblocks = len(blocks)
+        self._wp_mode = bytearray(nblocks)
+        self._wp_succ = array("q", [0] * nblocks)
+        self._wp_push = array("q", [0] * nblocks)
+        _CALL = BranchKind.CALL
+        _ICALL = BranchKind.INDIRECT_CALL
+        _RET_KIND = BranchKind.RETURN
+        for b in blocks:
+            bid = b.bid
+            kind = b.kind
+            if kind is _RET_KIND:
+                self._wp_mode[bid] = 2
+                self._wp_succ[bid] = -1
+            elif kind is _CALL or kind is _ICALL:
+                self._wp_mode[bid] = 1
+                self._wp_succ[bid] = (b.taken_target if kind is _CALL
+                                      else _heaviest(b))
+                self._wp_push[bid] = (b.fallthrough
+                                      if b.fallthrough is not None else -1)
+            else:
+                # dry-run on a throwaway stack: these kinds never touch it
+                succ = static_majority_successor(layout, b, [])
+                self._wp_mode[bid] = 0
+                self._wp_succ[bid] = succ if succ is not None else -1
+
+        # -- prefetcher trigger-line entry mirrors -------------------------
+        # PDIP and EIP lookups overwhelmingly miss; a dense per-line slot
+        # holding the table entry (or None) turns the miss path into one
+        # list index and the hit path into a direct transcription of the
+        # table's lookup (entry objects are mutated in place by inserts,
+        # so a mirrored reference stays current). Only set *membership*
+        # changes need maintenance, and those all happen inside the rare
+        # insert/entangle calls, which are wrapped to resync their set.
+        # Exactness: trigger lines are block lines (< nlines), and within
+        # that range the (set, tag) pair identifies the line uniquely for
+        # both geometries.
+        self._pdip_fast: Optional[PDIPController] = None
+        self._pdip_entries: Optional[list] = None
+        if (isinstance(pf, PDIPController) and not pf._use_path
+                and nlines < 512 * 1024):
+            self._pdip_fast = pf
+            table = pf.table
+            num_sets = table.num_sets
+            entries: list = [None] * nlines
+            set_lines: dict = {}
+            for set_idx, ways in table._sets.items():
+                mirrored = []
+                for tag, entry in ways.items():
+                    line = tag * num_sets + set_idx
+                    if line < nlines:
+                        entries[line] = (entry, _pdip_pairs(entry))
+                        mirrored.append(line)
+                set_lines[set_idx] = mirrored
+            orig_insert = table.insert
+
+            def _pdip_insert(trigger_line, target_line,
+                             trigger_type="mispredict", path=None,
+                             _orig=orig_insert, _table=table,
+                             _entries=entries, _set_lines=set_lines,
+                             _n=nlines, _num_sets=num_sets,
+                             _pairs=_pdip_pairs):
+                _orig(trigger_line, target_line, trigger_type, path=path)
+                set_idx = trigger_line % _num_sets
+                for line in _set_lines.get(set_idx, ()):
+                    _entries[line] = None
+                mirrored = []
+                for tag, entry in _table._sets[set_idx].items():
+                    line = tag * _num_sets + set_idx
+                    if line < _n:
+                        _entries[line] = (entry, _pairs(entry))
+                        mirrored.append(line)
+                _set_lines[set_idx] = mirrored
+
+            table.insert = _pdip_insert
+            self._pdip_entries = entries
+        self._eip_fast: Optional[EIPPrefetcher] = None
+        self._eip_entries: Optional[list] = None
+        if isinstance(pf, EIPPrefetcher):
+            self._eip_fast = pf
+            entries = [None] * nlines
+            orig_entangle = pf._entangle
+            if pf._analytical:
+                # unbounded dict: dst lists are created once and mutated
+                # in place, so mirroring the list reference suffices
+                for src, dsts in pf._table_unbounded.items():
+                    if src < nlines:
+                        entries[src] = dsts
+
+                def _eip_entangle(src, dst, _orig=orig_entangle, _pf=pf,
+                                  _entries=entries, _n=nlines):
+                    _orig(src, dst)
+                    if src < _n:
+                        _entries[src] = _pf._table_unbounded[src]
+
+            else:
+                num_sets = pf._num_sets
+                set_lines = {}
+                for set_idx, ways in pf._sets.items():
+                    mirrored = []
+                    for tag, entry in ways.items():
+                        line = tag * num_sets + set_idx
+                        if line < nlines:
+                            entries[line] = entry
+                            mirrored.append(line)
+                    set_lines[set_idx] = mirrored
+
+                def _eip_entangle(src, dst, _orig=orig_entangle, _pf=pf,
+                                  _entries=entries, _set_lines=set_lines,
+                                  _n=nlines, _num_sets=num_sets):
+                    _orig(src, dst)
+                    set_idx = src % _num_sets
+                    for line in _set_lines.get(set_idx, ()):
+                        _entries[line] = None
+                    mirrored = []
+                    for tag, entry in _pf._sets[set_idx].items():
+                        line = tag * _num_sets + set_idx
+                        if line < _n:
+                            _entries[line] = entry
+                            mirrored.append(line)
+                    _set_lines[set_idx] = mirrored
+
+            pf._entangle = _eip_entangle
+            self._eip_entries = entries
+        # EIP's on_retire reduces to history appends unless the entry
+        # both missed and initiated a fill; _retire_slot short-circuits
+        # the no-miss case without materializing the FTQEntry proxy
+        self._eip_retire: Optional[EIPPrefetcher] = (
+            pf if isinstance(pf, EIPPrefetcher) else None)
+        # PDIP's branch observer only feeds the Section 5.2 path-history
+        # variant; without ``use_path_info`` the history is write-only, so
+        # the flat-filter path skips it entirely
+        if self._pdip_fast is not None:
+            self._observe_branch = None
+
+        # hot-path copies
+        self._access_prob = self.profile.data_access_prob
+
+    # ------------------------------------------------------------------
+    # flat L1-I mirror maintenance
+    # ------------------------------------------------------------------
+    def _ftq_occupancy(self) -> int:
+        return self._ftail - self._fhead
+
+    def _sync_line(self, line: int) -> None:
+        """Refresh one mirror cell from the authoritative cache state."""
+        state = self._l1_lines_get(line)
+        if state is None or state.unused_prefetch:
+            self._l1_ready[line] = _INF
+            self._l1_state[line] = None
+        else:
+            self._l1_ready[line] = state.ready_cycle
+            self._l1_state[line] = state
+
+    def _install_fill_hook(self) -> None:
+        """Wrap the hierarchy's ``_fill_l1`` so every fill/eviction also
+        updates the mirror (MemoryHierarchy is unslotted by design, so a
+        per-instance override is safe)."""
+        hierarchy = self.hierarchy
+        l1i_fill = hierarchy.l1i.fill_quick
+        l1_ready = self._l1_ready
+        l1_state = self._l1_state
+        lines_get = self._l1_lines_get
+        nlines = len(l1_ready)
+
+        def _fill_l1(line, ready, source):
+            ev_line, ev_state = l1i_fill(line, ready, is_instruction=True,
+                                         source=source)
+            if ev_line is not None:
+                if ev_line < nlines:
+                    l1_ready[ev_line] = _INF
+                    l1_state[ev_line] = None
+                if ev_state.unused_prefetch:
+                    hierarchy.prefetch_useless += 1
+            if line < nlines:
+                if source == "prefetch":
+                    # unused_prefetch lines never fast-hit (the first
+                    # demand touch must run the useful/late accounting)
+                    l1_ready[line] = _INF
+                    l1_state[line] = None
+                else:
+                    l1_ready[line] = ready
+                    l1_state[line] = lines_get(line)
+
+        hierarchy._fill_l1 = _fill_l1
+
+    # ==================================================================
+    # main loop (kept in lockstep with Machine.run/step)
+    # ==================================================================
+    def run(self, instructions: int, warmup: int = 0,
+            max_cycles: Optional[int] = None) -> SimulationStats:
+        """Simulate until ``warmup + instructions`` have retired.
+
+        The hot configurations (PathWalker workload, no iTLB) run the
+        fused all-local loop below; anything else falls back to the
+        stepped method loop, which handles every configuration.
+        """
+        if self._walker_outcome is None or not self._use_mirror:
+            return self._run_generic(instructions, warmup, max_cycles)
+        limit = max_cycles if max_cycles is not None else \
+            400 * (warmup + instructions)
+        snapshot = None
+        measure_end = warmup + instructions
+
+        # -- hoisted invariants -------------------------------------------
+        st = self.stats
+        backend = self.backend
+        hierarchy = self.hierarchy
+        l1i = hierarchy.l1i
+        fetch = hierarchy.fetch_instruction
+        sync_line = self._sync_line
+        l1_ready = self._l1_ready
+        l1_state = self._l1_state
+        l1_hit_lat = hierarchy._l1_hit
+        blocks = self._blocks
+        blk_lines = self._blk_lines
+        blk_n = self._blk_n
+        blk_branch = self._blk_branch
+        blk_obline = self._blk_obline
+        wp_mode = self._wp_mode
+        wp_succ = self._wp_succ
+        wp_push = self._wp_push
+        walker = self.walker
+        outcome = self._walker_outcome
+        wrng = walker.rng.random
+        bpu = self.bpu
+        predict = bpu.predict_block
+        btb_lookup = bpu.btb.lookup
+        btb_insert = bpu.btb.insert
+        tage_predict = bpu.tage.predict
+        tage_update = bpu.tage.update
+        blk_kind = self._blk_kindcode
+        blk_ft = self._blk_ft
+        blk_tt = self._blk_tt
+        blk_bias = self._blk_bias
+        blk_bpc = self._blk_bpc
+        blk_addr = self._blk_addr
+        blk_end = self._blk_end
+        entry_bid = self._entry_bid
+        layout = self.layout
+        wp_max = self.config.wrongpath_max_blocks
+        fmask = self._fmask
+        fcap = self._fcap
+        e_bid = self._e_bid
+        e_enq = self._e_enq
+        e_ready = self._e_ready
+        e_nready = self._e_nready
+        e_since = self._e_since
+        e_starve = self._e_starve
+        e_flags = self._e_flags
+        e_mis = self._e_mis
+        e_rkind = self._e_rkind
+        e_rtrig = self._e_rtrig
+        e_missed = self._e_missed
+        e_pending = self._e_pending
+        e_deferred = self._e_deferred
+        bmask = self._bmask
+        b_seq = self._b_seq
+        b_instr = self._b_instr
+        b_retired = self._b_retired
+        b_dec = self._b_dec
+        b_wrong = self._b_wrong
+        ftq = self.ftq
+        ftq_depth = ftq.depth
+        iag_blocks = self._iag_blocks
+        width = self._decode_width
+        rob = backend.rob_entries
+        predecode_lat = self._predecode_lat
+        exec_lat = self._exec_lat
+        retire_width = backend.retire_width
+        b_depth = backend.depth
+        stall_prob = backend.stall_prob
+        brng = backend._rng_random
+        issue_empty_thr = backend.issue_empty_threshold
+        pq = self.pq
+        pq_q = pq._q
+        pq_queued = pq._queued
+        pq_cap = pq.capacity
+        pq_issue_width = pq.issue_width
+        pq_reserve = pq.mshr_reserve
+        pq_prefetch = hierarchy.prefetch_instruction
+        pq_tel = pq.tel
+        l1_lines = l1i._lines
+        pdip = self._pdip_fast
+        if pdip is not None:
+            pdip_entries = self._pdip_entries
+            pdip_table = pdip.table
+            pdip_tel = pdip.tel
+        eip = self._eip_fast
+        if eip is not None:
+            eip_entries = self._eip_entries
+            eip_analytical = eip._analytical
+        pf_enqueue = self._pf_enqueue
+        enq_proxy = self._enq_proxy
+        observe = self._observe_branch
+        retire_slot = self._retire_slot
+        issue_deferred = self._issue_deferred_slot
+        fast_forward = self._fast_forward
+        handle_resteer = self._handle_resteer
+        probe = self.probe
+        eh = self.event_horizon and (probe is None or self.probe_coarse)
+        # TimelineProbe reads only cycle / FTQ occupancy / ROB occupancy /
+        # MSHRs / stats.resteers between samples, so its per-cycle call
+        # reduces to the resteer-window bookkeeping; arbitrary probes get
+        # the full counter flush every cycle
+        probe_every = (probe.sample_every
+                       if type(probe) is TimelineProbe else 0)
+
+        # -- mutable machine state as loop locals --------------------------
+        cycle = self.cycle
+        fhead = self._fhead
+        ftail = self._ftail
+        bhead = self._bhead
+        btail = self._btail
+        b_occ = backend._occupancy
+        progress = self._decode_progress
+        admitted = self._head_admitted
+        pr_on = self._pr_on
+        pr_kind = self._pr_kind
+        pr_trig = self._pr_trig
+        pr_sched = self._pr_sched
+        since_ctr = self._entries_since_resteer
+        iag_stall = self._iag_stall_until
+        last_rkind = self._last_resteer_kind
+        last_rtrig = self._last_resteer_trigger
+        wp = self._wrong_path
+        retired_total = backend.retired_instructions
+        # hot stats counters accumulate in locals and flush at snapshot
+        # boundaries, probe calls, helper calls that touch them, and loop
+        # exits; everything else reads self.stats only at those points
+        st_cycles = st.cycles
+        st_instructions = st.instructions
+        st_slots_total = st.slots_total
+        st_slots_ret = st.slots_retiring
+        st_slots_bad = st.slots_bad_speculation
+        st_slots_bb = st.slots_backend_bound
+        st_slots_fb = st.slots_frontend_bound
+        st_dstarv = st.decode_starvation_cycles
+        b_stalls = backend.stall_cycles
+        ftq_enq = ftq.enqueues
+
+        # NOTE: a sync_out() closure would be tidier, but any local a
+        # nested function reads becomes a cell variable, demoting every
+        # hot-loop access from LOAD_FAST to LOAD_DEREF — so the loop-local
+        # write-back is spelled out inline at each of the rare exits.
+        break_on_limit = False
+        while True:
+            if snapshot is None and retired_total >= warmup:
+                st.cycles = st_cycles
+                st.instructions = st_instructions
+                st.slots_total = st_slots_total
+                st.slots_retiring = st_slots_ret
+                st.slots_bad_speculation = st_slots_bad
+                st.slots_backend_bound = st_slots_bb
+                st.slots_frontend_bound = st_slots_fb
+                st.decode_starvation_cycles = st_dstarv
+                backend.stall_cycles = b_stalls
+                ftq.enqueues = ftq_enq
+                snapshot = self._snapshot()
+                measure_end = retired_total + instructions
+            if snapshot is not None and retired_total >= measure_end:
+                break
+
+            # -- inlined _skippable + _fast_forward dispatch ---------------
+            if eh:
+                act = False
+                bb = False  # backend-bound window (ROB blocks admission)
+                horizon = _INF
+                if pr_on and pr_sched >= 0:
+                    if pr_sched <= cycle:
+                        act = True
+                    else:
+                        horizon = pr_sched
+                if not act:
+                    if cycle < iag_stall:
+                        if iag_stall < horizon:
+                            horizon = iag_stall
+                    elif ftail - fhead >= ftq_depth:
+                        pass  # full FTQ stays full while decode starves
+                    elif wp is None or (wp.current is not None
+                                        and wp.remaining > 0):
+                        act = True  # IAG would enqueue a block this cycle
+                    if not act and pq_q:
+                        act = True  # PQ drains lines every cycle
+                    if not act and fhead != ftail:
+                        slot = fhead & fmask
+                        if e_deferred[slot]:
+                            act = True  # IFU retries deferred fills
+                        else:
+                            ready = e_ready[slot]
+                            if ready > cycle:
+                                if ready < horizon:
+                                    horizon = ready
+                            elif (admitted or bhead == btail
+                                  or blk_n[e_bid[slot]] <= rob - b_occ):
+                                act = True  # decode consumes the head
+                            else:
+                                # head ready but the ROB is full: nothing
+                                # moves until the back-end head retires.
+                                # The reference core steps these cycles one
+                                # by one doing only slot accounting plus
+                                # one stall draw each — batch them.
+                                bslot = bhead & bmask
+                                if b_wrong[bslot]:
+                                    act = True  # blocked until the resteer
+                                else:
+                                    eligible = b_dec[bslot] + b_depth
+                                    bstall = backend._stall_until
+                                    if bstall > eligible:
+                                        eligible = bstall
+                                    if eligible <= cycle:
+                                        act = True  # retirement frees ROB
+                                    else:
+                                        bb = True
+                                        if eligible < horizon:
+                                            horizon = eligible
+                    if not act and not bb and bhead != btail:
+                        slot = bhead & bmask
+                        if not b_wrong[slot]:
+                            eligible = b_dec[slot] + b_depth
+                            bstall = backend._stall_until
+                            if bstall > eligible:
+                                eligible = bstall
+                            if eligible <= cycle:
+                                act = True  # back end may retire
+                            elif eligible < horizon:
+                                horizon = eligible
+                if not act and bb:
+                    # batched backend-bound cycles: per cycle the reference
+                    # core adds a full width of backend-bound slots and
+                    # runs one stall draw; nothing else can change state
+                    # before ``horizon`` (FTQ full or IAG stalled/dead, PQ
+                    # empty, decode blocked, back end ineligible).
+                    k = horizon - cycle
+                    cap = limit + 1 - cycle
+                    if cap < k:
+                        k = cap
+                    slots = width * k
+                    st_cycles += k
+                    st_slots_total += slots
+                    st_slots_bb += slots
+                    in_stall = backend._stall_until - cycle
+                    if in_stall < 0:
+                        in_stall = 0
+                    elif in_stall > k:
+                        in_stall = k
+                    stalls = in_stall
+                    draws = k - in_stall
+                    if draws:
+                        stalls += batch_stall_draws(backend._rng, draws,
+                                                    stall_prob)
+                    b_stalls += stalls
+                    cycle += k
+                    if probe is not None:
+                        self.cycle = cycle
+                        self._fhead = fhead
+                        self._ftail = ftail
+                        backend._occupancy = b_occ
+                        st.cycles = st_cycles
+                        st.instructions = st_instructions
+                        st.slots_total = st_slots_total
+                        st.slots_retiring = st_slots_ret
+                        st.slots_bad_speculation = st_slots_bad
+                        st.slots_backend_bound = st_slots_bb
+                        st.slots_frontend_bound = st_slots_fb
+                        st.decode_starvation_cycles = st_dstarv
+                        backend.stall_cycles = b_stalls
+                        ftq.enqueues = ftq_enq
+                        probe(self)
+                    if cycle > limit:
+                        self.cycle = cycle
+                        self._fhead = fhead
+                        self._ftail = ftail
+                        self._bhead = bhead
+                        self._btail = btail
+                        backend._occupancy = b_occ
+                        st.cycles = st_cycles
+                        st.instructions = st_instructions
+                        st.slots_total = st_slots_total
+                        st.slots_retiring = st_slots_ret
+                        st.slots_bad_speculation = st_slots_bad
+                        st.slots_backend_bound = st_slots_bb
+                        st.slots_frontend_bound = st_slots_fb
+                        st.decode_starvation_cycles = st_dstarv
+                        backend.stall_cycles = b_stalls
+                        ftq.enqueues = ftq_enq
+                        self._decode_progress = progress
+                        self._head_admitted = admitted
+                        self._pr_on = pr_on
+                        self._pr_kind = pr_kind
+                        self._pr_trig = pr_trig
+                        self._pr_sched = pr_sched
+                        self._entries_since_resteer = since_ctr
+                        self._iag_stall_until = iag_stall
+                        self._last_resteer_kind = last_rkind
+                        self._last_resteer_trigger = last_rtrig
+                        self._wrong_path = wp
+                        raise RuntimeError(
+                            "simulation exceeded %d cycles (deadlock?)"
+                            % limit)
+                    continue
+                if not act and horizon != _INF:
+                    k = horizon - cycle
+                    cap = limit + 1 - cycle
+                    if cap < k:
+                        k = cap
+                    self.cycle = cycle
+                    self._fhead = fhead
+                    self._ftail = ftail
+                    backend._occupancy = b_occ
+                    # _fast_forward mutates five of the localized counters
+                    # (and its probe may read any) — flush all, reload the
+                    # mutated ones after
+                    st.cycles = st_cycles
+                    st.instructions = st_instructions
+                    st.slots_total = st_slots_total
+                    st.slots_retiring = st_slots_ret
+                    st.slots_bad_speculation = st_slots_bad
+                    st.slots_backend_bound = st_slots_bb
+                    st.slots_frontend_bound = st_slots_fb
+                    st.decode_starvation_cycles = st_dstarv
+                    backend.stall_cycles = b_stalls
+                    ftq.enqueues = ftq_enq
+                    fast_forward(k)
+                    cycle = self.cycle
+                    st_cycles = st.cycles
+                    st_slots_total = st.slots_total
+                    st_slots_fb = st.slots_frontend_bound
+                    st_dstarv = st.decode_starvation_cycles
+                    b_stalls = backend.stall_cycles
+                    if cycle > limit:
+                        self._bhead = bhead
+                        self._btail = btail
+                        self._decode_progress = progress
+                        self._head_admitted = admitted
+                        self._pr_on = pr_on
+                        self._pr_kind = pr_kind
+                        self._pr_trig = pr_trig
+                        self._pr_sched = pr_sched
+                        self._entries_since_resteer = since_ctr
+                        self._iag_stall_until = iag_stall
+                        self._last_resteer_kind = last_rkind
+                        self._last_resteer_trigger = last_rtrig
+                        self._wrong_path = wp
+                        raise RuntimeError(
+                            "simulation exceeded %d cycles (deadlock?)"
+                            % limit)
+                    continue
+
+            # -- stage 1: resteer (method call; rare) ----------------------
+            if pr_on and 0 <= pr_sched <= cycle:
+                self.cycle = cycle
+                self._fhead = fhead
+                self._ftail = ftail
+                self._bhead = bhead
+                self._btail = btail
+                backend._occupancy = b_occ
+                self._decode_progress = progress
+                self._head_admitted = admitted
+                self._pr_on = pr_on
+                self._pr_kind = pr_kind
+                self._pr_trig = pr_trig
+                self._pr_sched = pr_sched
+                self._entries_since_resteer = since_ctr
+                self._wrong_path = wp
+                handle_resteer(cycle)
+                fhead = self._fhead
+                ftail = self._ftail
+                bhead = self._bhead
+                btail = self._btail
+                b_occ = backend._occupancy
+                progress = self._decode_progress
+                admitted = self._head_admitted
+                pr_on = self._pr_on
+                pr_sched = self._pr_sched
+                since_ctr = self._entries_since_resteer
+                iag_stall = self._iag_stall_until
+                last_rkind = self._last_resteer_kind
+                last_rtrig = self._last_resteer_trigger
+                wp = self._wrong_path
+
+            # -- stage 2: IAG / FTQ fill (fused _iag_fill + _enqueue_next) -
+            if cycle >= iag_stall:
+                hit_ready = cycle + l1_hit_lat
+                for _ in range(iag_blocks):
+                    if ftail - fhead >= ftq_depth:
+                        break
+                    taken = False
+                    mis = _NONE
+                    if wp is not None:
+                        # wrong path: three array reads per block
+                        bid = wp.current
+                        if bid is None or wp.remaining <= 0:
+                            break  # dead-ended; wait for the resteer
+                        wp.remaining -= 1
+                        mode = wp_mode[bid]
+                        if mode == 0:
+                            succ = wp_succ[bid]
+                        elif mode == 1:
+                            push = wp_push[bid]
+                            if push >= 0:
+                                wp.stack.append(push)
+                            succ = wp_succ[bid]
+                        else:
+                            stack = wp.stack
+                            succ = stack.pop() if stack else -1
+                        wp.current = succ if succ >= 0 else None
+                        st.wrong_path_blocks += 1
+                        wrong = True
+                    else:
+                        # correct path: fused PathWalker.next_event + BPU
+                        # fallthrough/conditional fast paths (transcribed
+                        # from BranchPredictionUnit._predict_cond; kinds
+                        # needing RAS/ITTAGE take the full call)
+                        bid = walker.current
+                        wrong = False
+                        target = None
+                        kindc = blk_kind[bid]
+                        if kindc == 0:
+                            taken = False
+                            next_bid = blk_ft[bid]
+                            walker.current = next_bid
+                            walker.events += 1
+                            bpu.blocks_predicted += 1
+                        elif kindc == 1:
+                            taken = wrng() < blk_bias[bid]
+                            next_bid = blk_tt[bid] if taken else blk_ft[bid]
+                            walker.current = next_bid
+                            walker.events += 1
+                            bpu.blocks_predicted += 1
+                            pc = blk_bpc[bid]
+                            entry = btb_lookup(pc)
+                            if entry is not None:
+                                predicted = tage_predict(pc)
+                                tage_update(pc, taken, predicted)
+                                if predicted != taken:
+                                    bpu.cond_mispredicts += 1
+                                    mis = _COND
+                                    target = (entry.target if predicted
+                                              else blk_end[bid])
+                            elif taken:
+                                btb_insert(pc, blk_addr[next_bid], "cond")
+                                bpu.btb_misses += 1
+                                predicted = tage_predict(pc)
+                                tage_update(pc, True, predicted)
+                                mis = _BTB_MISS
+                                target = blk_end[bid]
+                        else:
+                            block = blocks[bid]
+                            taken, next_bid = outcome(block)
+                            walker.current = next_bid
+                            walker.events += 1
+                            prediction = predict(
+                                block, taken, blocks[next_bid].addr)
+                            mis = prediction.mispredict
+                            target = prediction.predicted_target
+                        if mis is not _NONE:
+                            pr_on = True
+                            pr_kind = mis
+                            pr_trig = blk_obline[bid]
+                            pr_sched = -1
+                            wp = SpeculativePath(
+                                layout,
+                                entry_bid(target) if target is not None
+                                else None,
+                                walker.snapshot_stack(), max_blocks=wp_max)
+                    # ---- allocate the slot ----
+                    seq = ftail
+                    oldest = b_seq[bhead & bmask] if bhead != btail else fhead
+                    if seq - oldest >= fcap:
+                        self.cycle = cycle
+                        self._fhead = fhead
+                        self._ftail = ftail
+                        self._bhead = bhead
+                        self._btail = btail
+                        backend._occupancy = b_occ
+                        raise RuntimeError(
+                            "fast-core FTQ ring overflow "
+                            "(live window exceeds %d slots)" % fcap)
+                    slot = seq & fmask
+                    e_bid[slot] = bid
+                    e_enq[slot] = cycle
+                    e_starve[slot] = 0
+                    e_mis[slot] = mis
+                    missed = e_missed[slot]
+                    pending = e_pending[slot]
+                    deferred = e_deferred[slot]
+                    if missed:
+                        del missed[:]
+                    if pending:
+                        del pending[:]
+                    if deferred:
+                        del deferred[:]
+                    # ---- FDIP access over the L1 mirror ----
+                    lines = blk_lines[bid]
+                    nready = 0
+                    ready_at = cycle
+                    stalled = False
+                    clock = l1i._clock
+                    hits = 0
+                    for i, line in enumerate(lines):
+                        rd = l1_ready[line]
+                        if rd <= cycle:
+                            # batched ready-L1 hit (the common case)
+                            clock += 1
+                            l1_state[line].lru = clock
+                            hits += 1
+                            nready += 1
+                            if hit_ready > ready_at:
+                                ready_at = hit_ready
+                            continue
+                        state = l1_state[line]
+                        if state is not None:
+                            # resident with the fill still in flight:
+                            # inlined MSHR-merge slice of fetch_instruction
+                            # (access counters ride the hit batch)
+                            clock += 1
+                            state.lru = clock
+                            hits += 1
+                            nready += 1
+                            if state.unused_prefetch and \
+                                    state.source == "prefetch":
+                                hierarchy.prefetch_late += 1
+                                state.unused_prefetch = False
+                            if rd > ready_at:
+                                ready_at = rd
+                            pending.append(line)
+                            continue
+                        l1i._clock = clock
+                        l1i.accesses += hits
+                        hierarchy.l1i_demand_accesses += hits
+                        hits = 0
+                        result = fetch(line, cycle)
+                        clock = l1i._clock
+                        if result.stalled_mshr:
+                            deferred.extend(lines[i:])
+                            stalled = True
+                            break
+                        sync_line(line)
+                        ready = result.ready_cycle
+                        nready += 1
+                        if ready > ready_at:
+                            ready_at = ready
+                        if result.l1_miss:
+                            missed.append(line)
+                        elif result.pending_hit:
+                            pending.append(line)
+                    if not stalled:
+                        l1i._clock = clock
+                        l1i.accesses += hits
+                        hierarchy.l1i_demand_accesses += hits
+                    e_ready[slot] = ready_at
+                    e_nready[slot] = nready
+                    # ---- finish enqueue ----
+                    since_ctr += 1
+                    e_since[slot] = since_ctr
+                    e_rkind[slot] = last_rkind
+                    e_rtrig[slot] = last_rtrig
+                    e_flags[slot] = ((_F_WRONG if wrong else 0)
+                                     | (_F_TAKEN if taken else 0))
+                    ftail = seq + 1
+                    ftq_enq += 1
+                    if (observe is not None and blk_branch[bid]
+                            and (taken or wrong)):
+                        observe(blk_obline[bid])
+                    # ---- prefetcher dispatch (entry mirrors) ----
+                    # per-line miss = one list index; hits transcribe the
+                    # table lookup (clock/lru/hit counters) and walk the
+                    # cached expansion, with pq.request spelled inline
+                    if pdip is not None:
+                        pdip_table.lookups += len(lines)
+                        for line in lines:
+                            ent = pdip_entries[line]
+                            if ent is None:
+                                continue
+                            entry, pairs = ent
+                            clk = pdip_table._clock + 1
+                            pdip_table._clock = clk
+                            entry.lru = clk
+                            pdip_table.hits += 1
+                            for target, ttype in pairs:
+                                pdip.prefetch_requests += 1
+                                if ttype == "last_taken":
+                                    pdip.triggers_last_taken += 1
+                                else:
+                                    pdip.triggers_mispredict += 1
+                                if pdip_tel.enabled:
+                                    pdip_tel.emit(
+                                        "pdip_hit", cycle, trigger=line,
+                                        target=target, ttype=ttype)
+                                pq.requests += 1
+                                if target in pq_queued:
+                                    if pq_tel.enabled:
+                                        pq_tel.emit("pq_drop", cycle,
+                                                    line=target, reason="dup")
+                                elif len(pq_q) >= pq_cap:
+                                    pq.dropped_full += 1
+                                    if pq_tel.enabled:
+                                        pq_tel.emit("pq_drop", cycle,
+                                                    line=target, reason="full")
+                                else:
+                                    pq_q.append(target)
+                                    pq_queued.add(target)
+                    elif eip is not None:
+                        eip.lookups += len(lines)
+                        for line in lines:
+                            ent = eip_entries[line]
+                            if ent is None:
+                                continue
+                            if eip_analytical:
+                                dsts = ent
+                                if dsts:
+                                    eip.lookup_hits += 1
+                            else:
+                                clk = eip._clock + 1
+                                eip._clock = clk
+                                ent.lru = clk
+                                eip.lookup_hits += 1
+                                dsts = ent.dsts
+                            for dst in dsts:
+                                eip.prefetch_requests += 1
+                                pq.requests += 1
+                                if dst in pq_queued:
+                                    if pq_tel.enabled:
+                                        pq_tel.emit("pq_drop", cycle,
+                                                    line=dst, reason="dup")
+                                elif len(pq_q) >= pq_cap:
+                                    pq.dropped_full += 1
+                                    if pq_tel.enabled:
+                                        pq_tel.emit("pq_drop", cycle,
+                                                    line=dst, reason="full")
+                                else:
+                                    pq_q.append(dst)
+                                    pq_queued.add(dst)
+                    elif pf_enqueue is not None:
+                        enq_proxy.block = blocks[bid]
+                        enq_proxy.lines = lines
+                        pf_enqueue(enq_proxy, cycle)
+
+            # -- stage 3: prefetch queue (inlined PrefetchQueue.tick) ------
+            if pq_q:
+                n = len(pq_q)
+                if n > pq_issue_width:
+                    n = pq_issue_width
+                for _ in range(n):
+                    line = pq_q.popleft()
+                    pq_queued.discard(line)
+                    if line in l1_lines:
+                        pq.filtered_resident += 1
+                    elif pq_prefetch(line, cycle, mshr_reserve=pq_reserve):
+                        pq.issued += 1
+                        if pq_tel.enabled:
+                            pq_tel.emit("pq_issue", cycle, line=line)
+
+            # -- stage 4: decode (inlined _decode) -------------------------
+            budget = width
+            delivered_correct = 0
+            delivered_wrong = 0
+            blocked_backend = False
+            starving_slot = -1
+            while budget > 0 and fhead != ftail:
+                slot = fhead & fmask
+                if e_deferred[slot]:
+                    issue_deferred(slot, cycle)
+                    if e_deferred[slot]:
+                        starving_slot = slot
+                        break
+                if e_ready[slot] > cycle:
+                    starving_slot = slot
+                    break
+                num_instructions = blk_n[e_bid[slot]]
+                remaining = num_instructions - progress
+                wrong = e_flags[slot] & _F_WRONG
+                if not admitted:
+                    if num_instructions > rob - b_occ:
+                        blocked_backend = True
+                        break
+                    bslot = btail & bmask
+                    b_seq[bslot] = fhead
+                    b_instr[bslot] = num_instructions
+                    b_retired[bslot] = 0
+                    b_dec[bslot] = cycle
+                    b_wrong[bslot] = 1 if wrong else 0
+                    btail += 1
+                    b_occ += num_instructions
+                    admitted = True
+                    if pr_on and pr_sched < 0 and not wrong:
+                        mis = e_mis[slot]
+                        if mis is pr_kind and mis is not _NONE:
+                            pr_sched = cycle + (predecode_lat
+                                                if mis is _BTB_MISS
+                                                else exec_lat)
+                take = remaining if remaining < budget else budget
+                progress += take
+                budget -= take
+                if wrong:
+                    delivered_wrong += take
+                else:
+                    delivered_correct += take
+                if progress >= num_instructions:
+                    fhead += 1
+                    progress = 0
+                    admitted = False
+            st_slots_total += width
+            st_slots_ret += delivered_correct
+            st_slots_bad += delivered_wrong
+            if budget > 0:
+                if blocked_backend:
+                    st_slots_bb += budget
+                else:
+                    st_slots_fb += budget
+            if delivered_correct + delivered_wrong == 0 and not blocked_backend:
+                st_dstarv += 1
+                if starving_slot >= 0:
+                    e_starve[starving_slot] += 1
+                    if b_occ < issue_empty_thr:
+                        e_flags[starving_slot] |= _F_BSTARVED
+
+            # -- stage 5: back end (inlined _backend_tick) -----------------
+            if cycle < backend._stall_until or brng() < stall_prob:
+                b_stalls += 1
+            else:
+                budget = retire_width
+                retired = 0
+                while budget > 0 and bhead != btail:
+                    slot = bhead & bmask
+                    if cycle < b_dec[slot] + b_depth:
+                        break
+                    if b_wrong[slot]:
+                        break  # wrong-path blocks wait for the squash
+                    done = b_retired[slot]
+                    remaining = b_instr[slot] - done
+                    take = budget if budget < remaining else remaining
+                    b_retired[slot] = done + take
+                    budget -= take
+                    retired += take
+                    b_occ -= take
+                    if take == remaining:
+                        bhead += 1
+                        backend._occupancy = b_occ
+                        retire_slot(b_seq[slot], cycle)
+                if retired:
+                    retired_total += retired
+                    backend.retired_instructions = retired_total
+                    st_instructions += retired
+
+            st_cycles += 1
+            if probe is not None:
+                if probe_every:
+                    # inlined TimelineProbe.__call__ pre-sample slice
+                    r = st.resteers
+                    probe._window_resteers += r - probe._resteers_seen
+                    probe._resteers_seen = r
+                    if cycle % probe_every == 0:
+                        self.cycle = cycle
+                        self._fhead = fhead
+                        self._ftail = ftail
+                        backend._occupancy = b_occ
+                        probe(self)
+                else:
+                    self.cycle = cycle
+                    self._fhead = fhead
+                    self._ftail = ftail
+                    backend._occupancy = b_occ
+                    st.cycles = st_cycles
+                    st.instructions = st_instructions
+                    st.slots_total = st_slots_total
+                    st.slots_retiring = st_slots_ret
+                    st.slots_bad_speculation = st_slots_bad
+                    st.slots_backend_bound = st_slots_bb
+                    st.slots_frontend_bound = st_slots_fb
+                    st.decode_starvation_cycles = st_dstarv
+                    backend.stall_cycles = b_stalls
+                    ftq.enqueues = ftq_enq
+                    probe(self)
+            cycle += 1
+            if cycle > limit:
+                break_on_limit = True
+                break
+        # -- loop-local write-back -----------------------------------------
+        self.cycle = cycle
+        self._fhead = fhead
+        self._ftail = ftail
+        self._bhead = bhead
+        self._btail = btail
+        backend._occupancy = b_occ
+        st.cycles = st_cycles
+        st.instructions = st_instructions
+        st.slots_total = st_slots_total
+        st.slots_retiring = st_slots_ret
+        st.slots_bad_speculation = st_slots_bad
+        st.slots_backend_bound = st_slots_bb
+        st.slots_frontend_bound = st_slots_fb
+        st.decode_starvation_cycles = st_dstarv
+        backend.stall_cycles = b_stalls
+        ftq.enqueues = ftq_enq
+        self._decode_progress = progress
+        self._head_admitted = admitted
+        self._pr_on = pr_on
+        self._pr_kind = pr_kind
+        self._pr_trig = pr_trig
+        self._pr_sched = pr_sched
+        self._entries_since_resteer = since_ctr
+        self._iag_stall_until = iag_stall
+        self._last_resteer_kind = last_rkind
+        self._last_resteer_trigger = last_rtrig
+        self._wrong_path = wp
+        if break_on_limit:
+            raise RuntimeError(
+                "simulation exceeded %d cycles (deadlock?)" % limit)
+        return self._delta(snapshot)
+
+    def _run_generic(self, instructions: int, warmup: int = 0,
+                     max_cycles: Optional[int] = None) -> SimulationStats:
+        """Stepped method loop; handles every configuration."""
+        limit = max_cycles if max_cycles is not None else \
+            400 * (warmup + instructions)
+        snapshot = None
+        measure_end = warmup + instructions
+        backend = self.backend
+        backend_tick = self._backend_tick
+        decode = self._decode
+        iag_fill = self._iag_fill
+        pq = self.pq
+        pq_q = pq._q
+        pq_tick = pq.tick
+        skippable = self._skippable
+        fast_forward = self._fast_forward
+        st = self.stats
+        while True:
+            retired = backend.retired_instructions
+            if snapshot is None and retired >= warmup:
+                snapshot = self._snapshot()
+                measure_end = retired + instructions
+            if snapshot is not None and retired >= measure_end:
+                break
+            if self.event_horizon and (self.probe is None or self.probe_coarse):
+                k = skippable()
+                if k > 0:
+                    cap = limit + 1 - self.cycle
+                    fast_forward(k if k < cap else cap)
+                    if self.cycle > limit:
+                        raise RuntimeError(
+                            "simulation exceeded %d cycles (deadlock?)"
+                            % limit)
+                    continue
+            # -- inlined step() (keep the two in lockstep) -----------------
+            cycle = self.cycle
+            if self._pr_on and 0 <= self._pr_sched <= cycle:
+                self._handle_resteer(cycle)
+            if cycle >= self._iag_stall_until:
+                iag_fill(cycle)
+            if pq_q:
+                pq_tick(cycle)
+            decode(cycle)
+            st.instructions += backend_tick(cycle)
+            st.cycles += 1
+            if self.probe is not None:
+                self.probe(self)
+            self.cycle = cycle + 1
+            if cycle >= limit:
+                raise RuntimeError(
+                    "simulation exceeded %d cycles (deadlock?)" % limit)
+        return self._delta(snapshot)
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        cycle = self.cycle
+        if self._pr_on and 0 <= self._pr_sched <= cycle:
+            self._handle_resteer(cycle)
+        if cycle >= self._iag_stall_until:
+            self._iag_fill(cycle)
+        pq = self.pq
+        if pq._q:
+            pq.tick(cycle)
+        self._decode(cycle)
+        retired = self._backend_tick(cycle)
+        st = self.stats
+        st.instructions += retired
+        st.cycles += 1
+        if self.probe is not None:
+            self.probe(self)
+        self.cycle = cycle + 1
+
+    # ==================================================================
+    # event-horizon fast path
+    # ==================================================================
+    def _skippable(self) -> int:
+        """Flat-state transcription of ``Machine._skippable``."""
+        cycle = self.cycle
+        horizon = None
+        if self._pr_on:
+            sched = self._pr_sched
+            if sched >= 0:
+                if sched <= cycle:
+                    return 0  # resteer acts this cycle
+                horizon = sched
+        stall_until = self._iag_stall_until
+        fhead = self._fhead
+        ftail = self._ftail
+        if cycle < stall_until:
+            if horizon is None or stall_until < horizon:
+                horizon = stall_until
+        elif ftail - fhead >= self.ftq.depth:
+            pass  # full FTQ stays full while decode starves (checked below)
+        else:
+            wp = self._wrong_path
+            if wp is None or (wp.current is not None and wp.remaining > 0):
+                return 0  # IAG would enqueue a block this cycle
+        if self.pq._q:
+            return 0  # PQ drains up to issue_width lines per cycle
+        if fhead != ftail:
+            slot = fhead & self._fmask
+            if self._e_deferred[slot]:
+                return 0  # IFU retries deferred fills every cycle
+            ready = self._e_ready[slot]
+            if ready <= cycle:
+                return 0  # decode consumes the head this cycle
+            if horizon is None or ready < horizon:
+                horizon = ready
+        backend = self.backend
+        bhead = self._bhead
+        if bhead != self._btail:
+            slot = bhead & self._bmask
+            if not self._b_wrong[slot]:
+                eligible = self._b_dec[slot] + backend.depth
+                stall = backend._stall_until
+                if stall > eligible:
+                    eligible = stall
+                if eligible <= cycle:
+                    return 0  # back end may retire this cycle
+                if horizon is None or eligible < horizon:
+                    horizon = eligible
+            # a wrong-path head blocks retirement until the resteer
+            # squashes it, which the resteer bound already covers
+        if horizon is None:
+            return 0  # nothing scheduled — never skip blind
+        return horizon - cycle
+
+    def _fast_forward(self, k: int) -> None:
+        """Advance ``k`` provably-idle cycles; batches the stall draws."""
+        cycle = self.cycle
+        st = self.stats
+        slots = self._decode_width * k
+        st.slots_total += slots
+        st.slots_frontend_bound += slots
+        st.decode_starvation_cycles += k
+        backend = self.backend
+        fhead = self._fhead
+        if fhead != self._ftail:
+            slot = fhead & self._fmask
+            self._e_starve[slot] += k
+            if backend._occupancy < backend.issue_empty_threshold:
+                self._e_flags[slot] |= _F_BSTARVED
+        in_stall = backend._stall_until - cycle
+        if in_stall < 0:
+            in_stall = 0
+        elif in_stall > k:
+            in_stall = k
+        stalls = in_stall
+        draws = k - in_stall
+        if draws:
+            stalls += batch_stall_draws(backend._rng, draws,
+                                        backend.stall_prob)
+        backend.stall_cycles += stalls
+        st.cycles += k
+        self.cycle = cycle + k
+        self.fast_forwarded_cycles += k
+        self.fast_forwards += 1
+        tel = self.tel
+        if tel.enabled:
+            tel.emit("fast_forward", cycle, cycles=k)
+        if self.probe is not None:
+            self.probe(self)
+
+    # ==================================================================
+    # stage 1: resteer
+    # ==================================================================
+    def _handle_resteer(self, cycle: int) -> None:
+        if not self._pr_on or self._pr_sched < 0 or cycle < self._pr_sched:
+            return
+        ftq = self.ftq
+        flushed = self._ftail - self._fhead
+        self._fhead = self._ftail  # flush advances the head, never the tail
+        ftq.flushes += 1
+        ftq.flushed_entries += flushed
+        self._squash_wrong_path()
+        self._wrong_path = None
+        self._decode_progress = 0
+        self._head_admitted = False
+        self._iag_stall_until = cycle + self._redirect_penalty
+        self._entries_since_resteer = 0
+        kind = self._pr_kind
+        trig = self._pr_trig
+        self._last_resteer_kind = kind
+        self._last_resteer_trigger = trig
+        self._pr_on = False
+        self._pr_sched = -1
+        tel = self.tel
+        if tel.enabled:
+            tel.emit("resteer", cycle, resteer_kind=kind.name,
+                     trigger_line=trig)
+        st = self.stats
+        st.resteers += 1
+        if kind is _BTB_MISS:
+            st.resteers_btb_miss += 1
+        elif kind is _COND:
+            st.resteers_cond += 1
+        elif kind is _INDIRECT:
+            st.resteers_indirect += 1
+        elif kind is _RETURN:
+            st.resteers_return += 1
+
+    def _squash_wrong_path(self) -> None:
+        """Compact the back-end ring in place, dropping wrong-path blocks."""
+        bhead = self._bhead
+        btail = self._btail
+        if bhead == btail:
+            return
+        bmask = self._bmask
+        b_wrong = self._b_wrong
+        b_seq = self._b_seq
+        b_instr = self._b_instr
+        b_retired = self._b_retired
+        b_dec = self._b_dec
+        squashed = 0
+        write = bhead
+        for read in range(bhead, btail):
+            ri = read & bmask
+            if b_wrong[ri]:
+                squashed += b_instr[ri] - b_retired[ri]
+                continue
+            if write != read:
+                wi = write & bmask
+                b_seq[wi] = b_seq[ri]
+                b_instr[wi] = b_instr[ri]
+                b_retired[wi] = b_retired[ri]
+                b_dec[wi] = b_dec[ri]
+                b_wrong[wi] = 0
+            write += 1
+        self._btail = write
+        backend = self.backend
+        backend._occupancy -= squashed
+        backend.squashed_instructions += squashed
+
+    # ==================================================================
+    # stage 2: IAG / FTQ fill (with FDIP prefetch)
+    # ==================================================================
+    def _iag_fill(self, cycle: int) -> None:
+        if cycle < self._iag_stall_until:
+            return
+        depth = self.ftq.depth
+        enqueue = self._enqueue_next
+        for _ in range(self._iag_blocks):
+            if self._ftail - self._fhead >= depth:
+                return
+            if not enqueue(cycle):
+                return
+
+    def _enqueue_next(self, cycle: int) -> bool:
+        """Fused _next_entry + _fdip_access + _finish_enqueue on a slot."""
+        wp = self._wrong_path
+        taken = False
+        mis = _NONE
+        if wp is not None:
+            # inlined SpeculativePath.step via the successor tables
+            bid = wp.current
+            if bid is None or wp.remaining <= 0:
+                return False  # wrong path dead-ended; wait for the resteer
+            block = self._blocks[bid]
+            wp.remaining -= 1
+            mode = self._wp_mode[bid]
+            if mode == 0:
+                succ = self._wp_succ[bid]
+            elif mode == 1:
+                push = self._wp_push[bid]
+                if push >= 0:
+                    wp.stack.append(push)
+                succ = self._wp_succ[bid]
+            else:
+                stack = wp.stack
+                succ = stack.pop() if stack else -1
+            wp.current = succ if succ >= 0 else None
+            self.stats.wrong_path_blocks += 1
+            wrong = True
+        else:
+            # inlined PathWalker.next_event (no ControlFlowEvent record)
+            walker = self.walker
+            outcome = self._walker_outcome
+            blocks = self._blocks
+            if outcome is not None:
+                block = blocks[walker.current]
+                taken, next_bid = outcome(block)
+                walker.current = next_bid
+                walker.events += 1
+                target_addr = blocks[next_bid].addr
+            else:
+                event = walker.next_event()
+                block = event.block
+                taken = event.taken
+                target_addr = event.target_addr
+            bid = block.bid
+            wrong = False
+            prediction = self.bpu.predict_block(block, taken, target_addr)
+            mis = prediction.mispredict
+            if mis.is_resteer:
+                # inlined _start_wrong_path on pending-resteer scalars
+                self._pr_on = True
+                self._pr_kind = mis
+                self._pr_trig = self._blk_obline[bid]
+                self._pr_sched = -1
+                target = prediction.predicted_target
+                start_bid = (self._entry_bid(target)
+                             if target is not None else None)
+                self._wrong_path = SpeculativePath(
+                    self.layout, start_bid, walker.snapshot_stack(),
+                    max_blocks=self.config.wrongpath_max_blocks)
+
+        # -- allocate the slot --------------------------------------------
+        seq = self._ftail
+        if self._bhead != self._btail:
+            oldest = self._b_seq[self._bhead & self._bmask]
+        else:
+            oldest = self._fhead
+        if seq - oldest >= self._fcap:
+            raise RuntimeError("fast-core FTQ ring overflow "
+                               "(live window exceeds %d slots)" % self._fcap)
+        slot = seq & self._fmask
+        self._e_bid[slot] = bid
+        self._e_enq[slot] = cycle
+        self._e_starve[slot] = 0
+        self._e_mis[slot] = mis
+        missed = self._e_missed[slot]
+        pending = self._e_pending[slot]
+        deferred = self._e_deferred[slot]
+        if missed:
+            del missed[:]
+        if pending:
+            del pending[:]
+        if deferred:
+            del deferred[:]
+
+        # -- FDIP access (flat transcription of _fdip_access) --------------
+        lines = self._blk_lines[bid]
+        hierarchy = self.hierarchy
+        fetch = hierarchy.fetch_instruction
+        nready = 0
+        ready_at = cycle
+        stalled = False
+        if self._use_mirror:
+            l1_ready = self._l1_ready
+            l1_state = self._l1_state
+            l1i = hierarchy.l1i
+            hit_ready = cycle + hierarchy._l1_hit
+            clock = l1i._clock
+            hits = 0
+            for i, line in enumerate(lines):
+                if l1_ready[line] <= cycle:
+                    # batched ready-L1 hit (the overwhelmingly common case)
+                    clock += 1
+                    l1_state[line].lru = clock
+                    hits += 1
+                    nready += 1
+                    if hit_ready > ready_at:
+                        ready_at = hit_ready
+                    continue
+                l1i._clock = clock
+                l1i.accesses += hits
+                hierarchy.l1i_demand_accesses += hits
+                hits = 0
+                result = fetch(line, cycle)
+                clock = l1i._clock
+                if result.stalled_mshr:
+                    deferred.extend(lines[i:])
+                    stalled = True
+                    break
+                self._sync_line(line)
+                ready = result.ready_cycle
+                nready += 1
+                if ready > ready_at:
+                    ready_at = ready
+                if result.l1_miss:
+                    missed.append(line)
+                elif result.pending_hit:
+                    pending.append(line)
+            if not stalled:
+                l1i._clock = clock
+                l1i.accesses += hits
+                hierarchy.l1i_demand_accesses += hits
+        else:
+            for i, line in enumerate(lines):
+                result = fetch(line, cycle)
+                if result.stalled_mshr:
+                    deferred.extend(lines[i:])
+                    break
+                ready = result.ready_cycle
+                nready += 1
+                if ready > ready_at:
+                    ready_at = ready
+                if result.l1_miss:
+                    missed.append(line)
+                elif result.pending_hit:
+                    pending.append(line)
+        self._e_ready[slot] = ready_at
+        self._e_nready[slot] = nready
+
+        # -- finish enqueue (flat transcription of _finish_enqueue) --------
+        since = self._entries_since_resteer + 1
+        self._entries_since_resteer = since
+        self._e_since[slot] = since
+        self._e_rkind[slot] = self._last_resteer_kind
+        self._e_rtrig[slot] = self._last_resteer_trigger
+        self._e_flags[slot] = ((_F_WRONG if wrong else 0)
+                               | (_F_TAKEN if taken else 0))
+        self._ftail = seq + 1
+        ftq = self.ftq
+        ftq.enqueues += 1
+        observe = self._observe_branch
+        if (observe is not None and self._blk_branch[bid]
+                and (taken or wrong)):
+            observe(self._blk_obline[bid])
+        pdip = self._pdip_fast
+        if pdip is not None:
+            self._pdip_enqueue(pdip, lines, cycle)
+            return True
+        eip = self._eip_fast
+        if eip is not None:
+            self._eip_enqueue(eip, lines, cycle)
+            return True
+        hook = self._pf_enqueue
+        if hook is not None:
+            proxy = self._enq_proxy
+            proxy.block = block
+            proxy.lines = lines
+            hook(proxy, cycle)
+        return True
+
+    def _pdip_enqueue(self, pdip, lines, cycle: int) -> None:
+        """Mirror-based transcription of ``PDIPController.on_ftq_enqueue``."""
+        entries = self._pdip_entries
+        table = pdip.table
+        table.lookups += len(lines)  # counter parity with per-line lookups
+        request = self.pq.request
+        tel = pdip.tel
+        for line in lines:
+            ent = entries[line]
+            if ent is None:
+                continue
+            entry, pairs = ent
+            clk = table._clock + 1
+            table._clock = clk
+            entry.lru = clk
+            table.hits += 1
+            for target, ttype in pairs:
+                pdip.prefetch_requests += 1
+                if ttype == "last_taken":
+                    pdip.triggers_last_taken += 1
+                else:
+                    pdip.triggers_mispredict += 1
+                if tel.enabled:
+                    tel.emit("pdip_hit", cycle, trigger=line,
+                             target=target, ttype=ttype)
+                request(target, cycle)
+
+    def _eip_enqueue(self, eip, lines, cycle: int) -> None:
+        """Mirror-based transcription of ``EIPPrefetcher.on_ftq_enqueue``."""
+        entries = self._eip_entries
+        analytical = eip._analytical
+        eip.lookups += len(lines)  # counter parity with per-line lookups
+        request = self.pq.request
+        for line in lines:
+            ent = entries[line]
+            if ent is None:
+                continue
+            if analytical:
+                dsts = ent
+                if dsts:
+                    eip.lookup_hits += 1
+            else:
+                clk = eip._clock + 1
+                eip._clock = clk
+                ent.lru = clk
+                eip.lookup_hits += 1
+                dsts = ent.dsts
+            for dst in dsts:
+                eip.prefetch_requests += 1
+                request(dst, cycle)
+
+    # ==================================================================
+    # stage 4: decode
+    # ==================================================================
+    def _decode(self, cycle: int) -> None:
+        width = self._decode_width
+        budget = width
+        delivered_correct = 0
+        delivered_wrong = 0
+        blocked_backend = False
+        starving_slot = -1
+        fhead = self._fhead
+        ftail = self._ftail
+        fmask = self._fmask
+        progress = self._decode_progress
+        admitted = self._head_admitted
+        e_deferred = self._e_deferred
+        e_ready = self._e_ready
+        e_bid = self._e_bid
+        e_flags = self._e_flags
+        blk_n = self._blk_n
+        backend = self.backend
+        b_occ = backend._occupancy
+        rob = backend.rob_entries
+        bmask = self._bmask
+
+        while budget > 0:
+            if fhead == ftail:
+                break
+            slot = fhead & fmask
+            if e_deferred[slot]:
+                self._issue_deferred_slot(slot, cycle)
+                if e_deferred[slot]:
+                    starving_slot = slot
+                    break
+            if e_ready[slot] > cycle:
+                starving_slot = slot
+                break
+            num_instructions = blk_n[e_bid[slot]]
+            remaining = num_instructions - progress
+            wrong = e_flags[slot] & _F_WRONG
+            if not admitted:
+                # inlined BackendModel.admit onto the back-end ring
+                if num_instructions > rob - b_occ:
+                    blocked_backend = True
+                    break
+                bslot = self._btail & bmask
+                self._b_seq[bslot] = fhead
+                self._b_instr[bslot] = num_instructions
+                self._b_retired[bslot] = 0
+                self._b_dec[bslot] = cycle
+                self._b_wrong[bslot] = 1 if wrong else 0
+                self._btail += 1
+                b_occ += num_instructions
+                admitted = True
+                # inlined _maybe_schedule_resteer
+                if self._pr_on and self._pr_sched < 0 and not wrong:
+                    mis = self._e_mis[slot]
+                    if mis is self._pr_kind and mis is not _NONE:
+                        if mis is _BTB_MISS:  # resolves at predecode
+                            self._pr_sched = cycle + self._predecode_lat
+                        else:
+                            self._pr_sched = cycle + self._exec_lat
+            take = remaining if remaining < budget else budget
+            progress += take
+            budget -= take
+            if wrong:
+                delivered_wrong += take
+            else:
+                delivered_correct += take
+            if progress >= num_instructions:
+                fhead += 1
+                progress = 0
+                admitted = False
+        backend._occupancy = b_occ
+        self._fhead = fhead
+        self._decode_progress = progress
+        self._head_admitted = admitted
+
+        # -- top-down accounting ------------------------------------------
+        st = self.stats
+        st.slots_total += width
+        st.slots_retiring += delivered_correct
+        st.slots_bad_speculation += delivered_wrong
+        if budget > 0:
+            if blocked_backend:
+                st.slots_backend_bound += budget
+            else:
+                st.slots_frontend_bound += budget
+
+        # -- decode starvation (FEC bookkeeping) ----------------------------
+        if delivered_correct + delivered_wrong == 0 and not blocked_backend:
+            st.decode_starvation_cycles += 1
+            if starving_slot >= 0:
+                self._e_starve[starving_slot] += 1
+                if b_occ < backend.issue_empty_threshold:
+                    e_flags[starving_slot] |= _F_BSTARVED
+
+    def _issue_deferred_slot(self, slot: int, cycle: int) -> None:
+        """Demand-issue fills the FDIP stream could not start (MSHR full)."""
+        deferred = self._e_deferred[slot]
+        fetch = self.hierarchy.fetch_instruction
+        missed = self._e_missed[slot]
+        pending = self._e_pending[slot]
+        ready_at = self._e_ready[slot]
+        nready = self._e_nready[slot]
+        use_mirror = self._use_mirror
+        while deferred:
+            line = deferred[0]
+            result = fetch(line, cycle)
+            if result.stalled_mshr:
+                break
+            deferred.pop(0)
+            if use_mirror:
+                self._sync_line(line)
+            ready = result.ready_cycle
+            nready += 1
+            if ready > ready_at:
+                ready_at = ready
+            if result.l1_miss:
+                missed.append(line)
+            elif result.pending_hit:
+                pending.append(line)
+        self._e_ready[slot] = ready_at
+        self._e_nready[slot] = nready
+
+    # ==================================================================
+    # stage 5: back end + retirement callbacks
+    # ==================================================================
+    def _backend_tick(self, cycle: int) -> int:
+        """Flat transcription of ``BackendModel.tick``."""
+        backend = self.backend
+        if cycle < backend._stall_until \
+                or backend._rng_random() < backend.stall_prob:
+            backend.stall_cycles += 1
+            return 0
+        budget = backend.retire_width
+        retired = 0
+        bhead = self._bhead
+        btail = self._btail
+        bmask = self._bmask
+        b_dec = self._b_dec
+        b_wrong = self._b_wrong
+        b_instr = self._b_instr
+        b_retired = self._b_retired
+        b_seq = self._b_seq
+        depth = backend.depth
+        while budget > 0 and bhead != btail:
+            slot = bhead & bmask
+            if cycle < b_dec[slot] + depth:
+                break
+            if b_wrong[slot]:
+                # wrong-path blocks never retire; they wait for the squash
+                break
+            done = b_retired[slot]
+            remaining = b_instr[slot] - done
+            take = budget if budget < remaining else remaining
+            b_retired[slot] = done + take
+            budget -= take
+            retired += take
+            backend._occupancy -= take
+            if take == remaining:
+                bhead += 1
+                self._bhead = bhead
+                self._retire_slot(b_seq[slot], cycle)
+                btail = self._btail  # a data-stall can't move it; stay exact
+        self._bhead = bhead
+        backend.retired_instructions += retired
+        return retired
+
+    def _retire_slot(self, seq: int, cycle: int) -> None:
+        """Flat transcription of ``Machine._on_retire`` for one slot.
+
+        The FEC classification is inlined (same counters, same events)
+        so the common no-miss/no-starvation retirement touches no
+        ``FTQEntry`` proxy at all; the proxy is materialized only for a
+        prefetcher's ``on_retire`` hook.
+        """
+        slot = seq & self._fmask
+        bid = self._e_bid[slot]
+        lines = self._blk_lines[bid]
+        flags = self._e_flags[slot]
+        starve = self._e_starve[slot]
+        missed = self._e_missed[slot]
+        pending = self._e_pending[slot]
+        fec = self.fec
+        fec.retired_line_accesses += len(lines)
+        fec.retired_lines_seen.update(lines)
+        events = None
+        if (missed or pending) and starve > 0:
+            # inlined FECClassifier.on_retire (bit-identical accounting)
+            rkind = self._e_rkind[slot]
+            rtrig = self._e_rtrig[slot]
+            in_wake = (self._e_since[slot] <= fec.wake_window
+                       and rtrig is not None)
+            if in_wake:
+                ttype = (TriggerType.BTB_MISS if rkind is _BTB_MISS
+                         else TriggerType.MISPREDICT)
+                trigger = rtrig
+            else:
+                ttype = TriggerType.LAST_TAKEN
+                trigger = self._last_taken_line
+            backend_starved = bool(flags & _F_BSTARVED)
+            high_cost = starve > fec.high_cost_threshold
+            event_kind = rkind if in_wake else None
+            events = []
+            for line in dict.fromkeys(missed + pending):
+                events.append(FECEvent(
+                    line=line, starvation_cycles=starve,
+                    backend_starved=backend_starved, trigger_line=trigger,
+                    trigger_type=ttype, resteer_kind=event_kind))
+                fec.fec_lines.add(line)
+                fec.fec_events += 1
+                fec.fec_starvation_cycles += starve
+                if high_cost:
+                    fec.high_cost_events += 1
+                    if backend_starved:
+                        fec.high_cost_backend_events += 1
+        if events:
+            st = self.stats
+            st.fec_starvation_cycles += starve
+            tel = self.tel
+            threshold = fec.high_cost_threshold
+            hierarchy = self.hierarchy
+            prefetched = hierarchy.prefetched_lines
+            for event in events:
+                hierarchy.promote_fec(event.line)
+                if event.line in prefetched:
+                    st.fec_covered_events += 1
+                if tel.enabled:
+                    tel.emit("fec", cycle, line=event.line,
+                             trigger_line=event.trigger_line,
+                             trigger_type=event.trigger_type.value,
+                             starvation=event.starvation_cycles,
+                             high_cost=event.is_high_cost(threshold))
+            st.fec_events += len(events)
+            hook = self._pf_fec
+            if hook is not None:
+                hook(events, cycle)
+        hook = self._pf_retire
+        if hook is not None:
+            eip = self._eip_retire
+            if (eip is not None
+                    and not ((missed or pending) and self._e_nready[slot])):
+                # EIPPrefetcher.on_retire with incurred_miss/line_ready
+                # falsy: only the commit history advances
+                enq = self._e_enq[slot]
+                hist = eip._history
+                for line in lines:
+                    hist.append((line, enq))
+                hook = None
+        if hook is not None:
+            proxy = self._ret_proxy
+            proxy.block = self._blocks[bid]
+            proxy.lines = lines
+            proxy.enqueue_cycle = self._e_enq[slot]
+            proxy.missed_lines = missed
+            proxy.pending_lines = pending
+            proxy.starvation_cycles = starve
+            proxy.backend_starved = bool(flags & _F_BSTARVED)
+            proxy.entries_since_resteer = self._e_since[slot]
+            if self._e_nready[slot]:
+                lr = self._lr_one
+                lr[0] = self._e_ready[slot]  # == max(line_ready.values())
+                proxy.line_ready = lr
+            else:
+                proxy.line_ready = self._lr_empty
+            hook(proxy, cycle)
+        if (flags & _F_TAKEN) and self._blk_branch[bid]:
+            self._last_taken_line = self._blk_obline[bid]
+        # -- data stream (flat transcription of _data_stream, with
+        # hierarchy.data_access spelled inline: on an L2 hit the caller
+        # ignores the ready cycle, so the hit path is just the lookup
+        # bookkeeping; misses keep the exact fill + stall-exposure logic)
+        rng_random = self._data_rng.random
+        access_prob = self._access_prob
+        cum = self._data_cum
+        hierarchy = self.hierarchy
+        l2 = hierarchy.l2
+        l2_lines = l2._lines
+        l2_fill = l2.fill_quick
+        l3_latency = hierarchy._l3_latency
+        l2_hit_lat = hierarchy._l2_hit
+        expose_prob = self._data_expose_prob
+        expose_frac = self._data_expose_frac
+        inject_stall = self.backend.inject_stall
+        for _ in range(self._blk_n[bid]):
+            if rng_random() >= access_prob:
+                continue
+            idx = bisect_left(cum, rng_random())
+            line = DATA_LINE_BASE + idx
+            hierarchy.l2_data_accesses += 1
+            l2.accesses += 1
+            state = l2_lines.get(line)
+            if state is not None:
+                clock = l2._clock + 1
+                l2._clock = clock
+                state.lru = clock
+                continue
+            l2.misses += 1
+            hierarchy.l2_data_misses += 1
+            ready = cycle + l2_hit_lat + l3_latency(line, cycle)
+            l2_fill(line, ready, is_instruction=False)
+            if rng_random() < expose_prob:
+                exposed = int((ready - cycle) * expose_frac)
+                if exposed > 0:
+                    inject_stall(cycle, exposed)

@@ -30,7 +30,7 @@ from repro.prefetchers.base import NoPrefetcher
 from repro.prefetchers.eip import EIPConfig, EIPPrefetcher
 from repro.prefetchers.next_line import NextLinePrefetcher
 from repro.prefetchers.rdip import RDIPPrefetcher
-from repro.simulator.config import MachineConfig
+from repro.simulator.config import MachineConfig, resolve_backend
 from repro.simulator.machine import Machine
 from repro.workloads.generator import generate_layout
 from repro.workloads.layout import CodeLayout
@@ -148,9 +148,14 @@ def build_machine(layout: CodeLayout, profile: WorkloadProfile,
         prefetcher = RDIPPrefetcher(pq)
     else:
         prefetcher = NoPrefetcher()
-    return Machine(layout=layout, profile=profile, config=cfg,
-                   hierarchy=hierarchy, prefetcher=prefetcher, pq=pq,
-                   seed=seed)
+    if resolve_backend(cfg) == "fast":
+        from repro.simulator.fastcore import FastMachine
+        machine_cls = FastMachine
+    else:
+        machine_cls = Machine
+    return machine_cls(layout=layout, profile=profile, config=cfg,
+                       hierarchy=hierarchy, prefetcher=prefetcher, pq=pq,
+                       seed=seed)
 
 
 def build_machine_for(benchmark_profile: WorkloadProfile, spec: PolicySpec,

@@ -1,0 +1,19 @@
+"""Shared test fixtures.
+
+The simulation backend must never leak into tests from the ambient
+environment: a developer running the suite with ``REPRO_BACKEND=fast``
+exported would silently retarget every un-pinned simulation — most
+critically the golden-stats anchors — at the fast core, making a
+"both backends pass" signal meaningless. Tests that care about the
+backend pin it explicitly through ``MachineConfig(backend=...)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_backend(monkeypatch):
+    """Strip ``REPRO_BACKEND`` so every test starts backend-neutral."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
