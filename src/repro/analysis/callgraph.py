@@ -1,0 +1,599 @@
+"""Best-effort intraprocedural call graph over a lint :class:`Project`.
+
+The concurrency rules (:mod:`repro.analysis.rules.concurrency`) need to
+answer "which callable does this ``ast.Call`` reach?" across module
+boundaries: a blocking ``sqlite3`` call is just as harmful three sync
+helpers below an ``async def`` as it is inline. This module builds that
+map once per project and caches it on the :class:`Project`.
+
+Resolution is deliberately *best effort* and silent on failure: a call
+whose target cannot be determined produces no :class:`CallSite` at all,
+so rules built on the graph never guess. The resolvable surface:
+
+* plain names — local/nested defs, module-level functions, classes and
+  functions reached through ``from X import Y [as Z]`` chains
+  (re-exports are followed), plain ``import X [as Y]`` modules, and
+  builtins (``open``);
+* methods — ``self.m()`` with inheritance walk, ``super().m()``,
+  ``self.attr.m()`` and ``local.m()`` where the receiver's type is known
+  from an annotation (``x: T``, ``self.x: Optional[T] = None``), a
+  constructor call (``x = T(...)``), an annotated parameter, or a
+  ``with T(...) as x`` item;
+* external values — calling an external dotted name tags the result
+  with that name, so ``sqlite3.connect(...).execute(...)`` resolves to
+  the external string ``sqlite3.connect.execute``.
+
+Known, accepted false negatives (documented in DESIGN §16): calls on
+untyped locals, containers of callables, ``Callable`` attributes,
+nested classes, and anything passed by reference. Lambda bodies and
+nested function bodies are excluded from their *enclosing* function's
+call list — each nested ``def`` gets its own :class:`FunctionInfo` — so
+``run_in_executor(None, lambda: blocking())`` is naturally not
+attributed to the async caller.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.analysis.engine import ModuleInfo, Project, dotted_name
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: separator between a function and the defs nested inside it
+LOCALS = ".<locals>."
+
+
+class TypeRef:
+    """The inferred type of a value.
+
+    ``kind`` is ``"class"`` for a project class (``target`` is its
+    qualified name ``module:Class``) or ``"external"`` for anything
+    else (``target`` is the dotted origin, e.g.
+    ``concurrent.futures.ProcessPoolExecutor`` for an annotation or
+    ``sqlite3.connect`` for a factory-call result).
+    """
+
+    __slots__ = ("kind", "target")
+
+    def __init__(self, kind: str, target: str):
+        self.kind = kind
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"TypeRef({self.kind}:{self.target})"
+
+
+class CallSite:
+    """One resolved call inside a function body."""
+
+    __slots__ = ("node", "line", "callee", "external")
+
+    def __init__(
+        self,
+        node: ast.Call,
+        callee: Optional[str],
+        external: Optional[str],
+    ):
+        self.node = node
+        self.line = node.lineno
+        #: qualified name of the project function called, if any
+        self.callee = callee
+        #: canonical dotted name of the external callable, if any
+        self.external = external
+
+
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    __slots__ = ("qname", "module", "name", "node", "is_async", "class_qname", "calls")
+
+    def __init__(
+        self,
+        qname: str,
+        module: str,
+        node: FunctionNode,
+        class_qname: Optional[str],
+    ):
+        self.qname = qname
+        self.module = module
+        self.name = node.name
+        self.node = node
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
+        self.class_qname = class_qname
+        self.calls: List[CallSite] = []
+
+    @property
+    def short_name(self) -> str:
+        """Name without the module prefix (``Class.method`` / ``func``)."""
+        return self.qname.split(":", 1)[1]
+
+
+class ClassInfo:
+    """One top-level project class: bases, methods, attribute types."""
+
+    __slots__ = ("qname", "module", "node", "bases", "methods", "attr_types")
+
+    def __init__(self, qname: str, module: str, node: ast.ClassDef):
+        self.qname = qname
+        self.module = module
+        self.node = node
+        #: project base-class qnames, in declaration order
+        self.bases: List[str] = []
+        #: method name -> function qname (directly defined only)
+        self.methods: Dict[str, str] = {}
+        #: attribute name -> inferred type
+        self.attr_types: Dict[str, TypeRef] = {}
+
+
+class _ModuleEnv:
+    """Per-module name-resolution environment."""
+
+    __slots__ = ("name", "from_imports", "module_aliases")
+
+    def __init__(self, module: ModuleInfo):
+        self.name = module.name
+        #: ``from X import Y as Z`` -> {Z: "X.Y"} (relative imports resolved)
+        self.from_imports: Dict[str, str] = {}
+        #: ``import X.Y as Z`` -> {Z: "X.Y"}; ``import X.Y`` -> {X: "X"}
+        self.module_aliases: Dict[str, str] = {}
+        package = module.name if module.is_package else module.name.rpartition(".")[0]
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                base = _resolve_import_base(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name != "*":
+                        bound = alias.asname or alias.name
+                        self.from_imports[bound] = f"{base}.{alias.name}"
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.module_aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".", 1)[0]
+                        self.module_aliases[head] = head
+
+
+def _resolve_import_base(node: ast.ImportFrom, package: str) -> Optional[str]:
+    """Absolute module an ``ImportFrom`` pulls names out of."""
+    if node.level == 0:
+        return node.module
+    parts = package.split(".")
+    if node.level - 1 >= len(parts):
+        return None
+    if node.level > 1:
+        parts = parts[: -(node.level - 1)]
+    if node.module:
+        parts.append(node.module)
+    return ".".join(parts) if parts else None
+
+
+class CallGraph:
+    """Project-wide function/class tables plus per-function call sites."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._envs: Dict[str, _ModuleEnv] = {}
+        self._by_node: Dict[int, CallSite] = {}
+
+    # -- public lookups ------------------------------------------------
+    def function(self, qname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qname)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for qname in sorted(self.functions):
+            yield self.functions[qname]
+
+    def site_for(self, node: ast.Call) -> Optional[CallSite]:
+        """The resolved :class:`CallSite` for an AST call, if any."""
+        return self._by_node.get(id(node))
+
+    def lookup_method(self, class_qname: str, method: str) -> Optional[str]:
+        """Resolve ``method`` on a class, walking project base classes."""
+        seen: Set[str] = set()
+        stack = [class_qname]
+        while stack:
+            qname = stack.pop(0)
+            if qname in seen:
+                continue
+            seen.add(qname)
+            info = self.classes.get(qname)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            stack.extend(info.bases)
+        return None
+
+    def attr_type(self, class_qname: str, attr: str) -> Optional[TypeRef]:
+        """Inferred type of ``self.<attr>``, walking project bases."""
+        seen: Set[str] = set()
+        stack = [class_qname]
+        while stack:
+            qname = stack.pop(0)
+            if qname in seen:
+                continue
+            seen.add(qname)
+            info = self.classes.get(qname)
+            if info is None:
+                continue
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+            stack.extend(info.bases)
+        return None
+
+    # -- construction --------------------------------------------------
+    def build(self) -> "CallGraph":
+        for module in self.project.iter_modules():
+            self._envs[module.name] = _ModuleEnv(module)
+        for module in self.project.iter_modules():
+            self._collect_defs(module)
+        for info in list(self.classes.values()):
+            self._resolve_class(info)
+        for fn in list(self.functions.values()):
+            self._collect_calls(fn)
+        return self
+
+    def _collect_defs(self, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module.name, f"{module.name}:{node.name}", node, None)
+            elif isinstance(node, ast.ClassDef):
+                qname = f"{module.name}:{node.name}"
+                info = ClassInfo(qname, module.name, node)
+                self.classes[qname] = info
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        mq = f"{module.name}:{node.name}.{item.name}"
+                        info.methods[item.name] = mq
+                        self._add_function(module.name, mq, item, qname)
+
+    def _add_function(
+        self,
+        module: str,
+        qname: str,
+        node: FunctionNode,
+        class_qname: Optional[str],
+    ) -> None:
+        self.functions[qname] = FunctionInfo(qname, module, node, class_qname)
+        for child in _iter_scope(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = f"{qname}{LOCALS}{child.name}"
+                self._add_function(module, nested, child, class_qname)
+
+    def _resolve_class(self, info: ClassInfo) -> None:
+        env = self._envs[info.module]
+        for base in info.node.bases:
+            name = dotted_name(base)
+            if name is None:
+                continue
+            resolved = self._resolve_dotted(env, name)
+            if resolved is not None and resolved[0] == "class":
+                info.bases.append(resolved[1])
+        # field annotations in the class body (dataclass style)
+        for item in info.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                ref = self._ann_type(env, item.annotation)
+                if ref is not None:
+                    info.attr_types[item.target.id] = ref
+        # ``self.x: T = ...`` annotations anywhere in the class's methods
+        # always win; plain ``self.x = ...`` in __init__ fills the gaps.
+        for method_q in info.methods.values():
+            method = self.functions[method_q]
+            for stmt in iter_scope_nodes(method.node):
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and _is_self_attr(stmt.target)
+                    and isinstance(stmt.target, ast.Attribute)
+                ):
+                    ref = self._ann_type(env, stmt.annotation)
+                    if ref is not None:
+                        info.attr_types[stmt.target.attr] = ref
+        init_q = info.methods.get("__init__")
+        if init_q is not None:
+            init = self.functions[init_q]
+            params = _param_types(self, env, init.node)
+            for stmt in iter_scope_nodes(init.node):
+                if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                    continue
+                target = stmt.targets[0]
+                if not (_is_self_attr(target) and isinstance(target, ast.Attribute)):
+                    continue
+                if target.attr in info.attr_types:
+                    continue
+                ref = self._value_type(env, stmt.value, params)
+                if ref is not None:
+                    info.attr_types[target.attr] = ref
+
+    # -- name resolution ----------------------------------------------
+    def _resolve_global(
+        self, module: str, name: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a module-global ``name`` to ``(kind, target)``.
+
+        Kinds: ``func``/``class`` (project, target is a qname),
+        ``module`` (project module, dotted), ``external`` (dotted).
+        Returns ``None`` when the name cannot be pinned down.
+        """
+        if _seen is None:
+            _seen = set()
+        key = f"{module}:{name}"
+        if key in _seen:
+            return None
+        _seen.add(key)
+        if key in self.functions:
+            return ("func", key)
+        if key in self.classes:
+            return ("class", key)
+        env = self._envs.get(module)
+        if env is None:
+            return None
+        if name in env.from_imports:
+            full = env.from_imports[name]
+            if full in self.project.modules:
+                return ("module", full)
+            head, _, leaf = full.rpartition(".")
+            if head in self.project.modules:
+                # project module: follow re-export chains
+                return self._resolve_global(head, leaf, _seen)
+            return ("external", full)
+        if name in env.module_aliases:
+            target = env.module_aliases[name]
+            if target in self.project.modules:
+                return ("module", target)
+            return ("external-module", target)
+        if hasattr(builtins, name):
+            return ("external", name)
+        return None
+
+    def _resolve_dotted(
+        self, env: _ModuleEnv, dotted: str
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a dotted chain rooted at a module-global name."""
+        parts = dotted.split(".")
+        resolved = self._resolve_global(env.name, parts[0])
+        if resolved is None:
+            return None
+        kind, target = resolved
+        rest = parts[1:]
+        if not rest:
+            if kind == "external-module":
+                return ("external", target)
+            return (kind, target)
+        if kind in ("external", "external-module"):
+            return ("external", ".".join([target] + rest))
+        if kind == "module":
+            # descend through project submodules: pkg.sub.helper()
+            while rest and f"{target}.{rest[0]}" in self.project.modules:
+                target = f"{target}.{rest[0]}"
+                rest = rest[1:]
+            if not rest:
+                return ("module", target)
+            if len(rest) == 1:
+                return self._resolve_global(target, rest[0])
+            inner = self._resolve_global(target, rest[0])
+            if inner is not None and inner[0] == "class" and len(rest) == 2:
+                method = self.lookup_method(inner[1], rest[1])
+                if method is not None:
+                    return ("func", method)
+            return None
+        if kind == "class" and len(rest) == 1:
+            method = self.lookup_method(target, rest[0])
+            if method is not None:
+                return ("func", method)
+            return None
+        return None
+
+    def _ann_type(self, env: _ModuleEnv, ann: ast.expr) -> Optional[TypeRef]:
+        """Type named by an annotation (unwraps ``Optional[...]`` and
+        string annotations)."""
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Subscript):
+            base = dotted_name(ann.value)
+            if base is not None and base.split(".")[-1] == "Optional":
+                return self._ann_type(env, ann.slice)
+            return None
+        name = dotted_name(ann)
+        if name is None:
+            return None
+        resolved = self._resolve_dotted(env, name)
+        if resolved is None:
+            return None
+        kind, target = resolved
+        if kind == "class":
+            return TypeRef("class", target)
+        if kind == "external":
+            return TypeRef("external", target)
+        return None
+
+    def _value_type(
+        self,
+        env: _ModuleEnv,
+        value: ast.expr,
+        locals_: Dict[str, TypeRef],
+    ) -> Optional[TypeRef]:
+        """Type of an expression: ctor/factory calls, typed names,
+        typed ``self`` attributes."""
+        if isinstance(value, ast.Await):
+            value = value.value
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name is None:
+                return None
+            if name.split(".")[0] in ("self", "cls"):
+                return None
+            resolved = self._resolve_dotted(env, name)
+            if resolved is None:
+                return None
+            kind, target = resolved
+            if kind == "class":
+                return TypeRef("class", target)
+            if kind == "external":
+                return TypeRef("external", target)
+            return None
+        if isinstance(value, ast.Name):
+            return locals_.get(value.id)
+        return None
+
+    # -- call collection -----------------------------------------------
+    def _collect_calls(self, fn: FunctionInfo) -> None:
+        env = self._envs[fn.module]
+        locals_ = _param_types(self, env, fn.node)
+        # first pass: local variable types from assignments/withitems
+        for node in iter_scope_nodes(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    ref = self._value_type(env, node.value, locals_)
+                    if ref is not None:
+                        locals_[target.id] = ref
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                ref = self._ann_type(env, node.annotation)
+                if ref is not None:
+                    locals_[node.target.id] = ref
+            elif isinstance(node, ast.withitem):
+                if isinstance(node.optional_vars, ast.Name):
+                    ref = self._value_type(env, node.context_expr, locals_)
+                    if ref is not None:
+                        locals_[node.optional_vars.id] = ref
+        for node in iter_scope_nodes(fn.node):
+            if isinstance(node, ast.Call):
+                site = self._resolve_call(fn, env, node, locals_)
+                if site is not None:
+                    fn.calls.append(site)
+                    self._by_node[id(node)] = site
+
+    def _resolve_call(
+        self,
+        fn: FunctionInfo,
+        env: _ModuleEnv,
+        call: ast.Call,
+        locals_: Dict[str, TypeRef],
+    ) -> Optional[CallSite]:
+        func = call.func
+        # super().m(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+        ):
+            if fn.class_qname is not None:
+                info = self.classes.get(fn.class_qname)
+                for base in info.bases if info is not None else []:
+                    method = self.lookup_method(base, func.attr)
+                    if method is not None:
+                        return CallSite(call, method, None)
+            return None
+        # chained call: f(...).m(...) — type the inner call's result
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Call):
+            ref = self._value_type(env, func.value, locals_)
+            return self._method_site(call, ref, func.attr)
+        name = dotted_name(func)
+        if name is None or name == "super":
+            return None
+        parts = name.split(".")
+        if parts[0] == "self" and fn.class_qname is not None:
+            if len(parts) == 2:
+                method = self.lookup_method(fn.class_qname, parts[1])
+                if method is not None:
+                    return CallSite(call, method, None)
+                return None
+            if len(parts) == 3:
+                ref = self.attr_type(fn.class_qname, parts[1])
+                return self._method_site(call, ref, parts[2])
+            return None
+        if len(parts) == 1:
+            # nested defs visible from the enclosing scope chain
+            scope = fn.qname
+            while True:
+                nested = f"{scope}{LOCALS}{parts[0]}"
+                if nested in self.functions:
+                    return CallSite(call, nested, None)
+                if LOCALS not in scope:
+                    break
+                scope = scope.rsplit(LOCALS, 1)[0]
+        if parts[0] in locals_ and len(parts) == 2:
+            return self._method_site(call, locals_[parts[0]], parts[1])
+        resolved = self._resolve_dotted(env, name)
+        if resolved is None:
+            return None
+        kind, target = resolved
+        if kind == "func":
+            return CallSite(call, target, None)
+        if kind == "class":
+            init = self.lookup_method(target, "__init__")
+            return CallSite(call, init, f"class:{target}")
+        if kind == "external":
+            return CallSite(call, None, target)
+        return None
+
+    def _method_site(
+        self, call: ast.Call, ref: Optional[TypeRef], method: str
+    ) -> Optional[CallSite]:
+        if ref is None:
+            return None
+        if ref.kind == "class":
+            resolved = self.lookup_method(ref.target, method)
+            if resolved is not None:
+                return CallSite(call, resolved, None)
+            return None
+        return CallSite(call, None, f"{ref.target}.{method}")
+
+
+def _param_types(
+    graph: CallGraph, env: _ModuleEnv, node: FunctionNode
+) -> Dict[str, TypeRef]:
+    """Types of annotated parameters (the seed local environment)."""
+    out: Dict[str, TypeRef] = {}
+    args = list(node.args.posonlyargs) + list(node.args.args) + list(
+        node.args.kwonlyargs
+    )
+    for arg in args:
+        if arg.annotation is not None:
+            ref = graph._ann_type(env, arg.annotation)
+            if ref is not None:
+                out[arg.arg] = ref
+    return out
+
+
+def _is_self_attr(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _iter_scope(node: FunctionNode) -> Iterator[ast.AST]:
+    """Direct statement-level children of a function body."""
+    for stmt in node.body:
+        yield stmt
+
+
+def iter_scope_nodes(node: FunctionNode) -> Iterator[ast.AST]:
+    """Every AST node in a function's own scope, in source (preorder)
+    order — nested function and lambda bodies are *not* descended into
+    (they are separate scopes with their own :class:`FunctionInfo`)."""
+    stack: List[ast.AST] = list(reversed(node.body))
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield current
+        stack.extend(reversed(list(ast.iter_child_nodes(current))))
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Build (and return) the call graph for ``project``."""
+    return CallGraph(project).build()

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional, TextIO
+from typing import Dict, List, Optional, TextIO
 
 from repro.analysis.baseline import (
     DEFAULT_BASELINE_NAME,
@@ -40,6 +41,30 @@ def _print_rule_list(out: TextIO) -> None:
         )
 
 
+def _gh_escape(text: str) -> str:
+    """Escape a message for a GitHub Actions workflow command."""
+    return (text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A"))
+
+
+def _gh_annotation(finding: Finding) -> str:
+    level = "error" if finding.severity == "error" else "warning"
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"title={finding.rule}::{_gh_escape(finding.message)}"
+    )
+
+
+def _print_timings(timings: Dict[str, float], total: float,
+                   out: TextIO) -> None:
+    width = max(len(name) for name in timings) if timings else 4
+    out.write("rule timings:\n")
+    for name in sorted(timings, key=lambda n: (-timings[n], n)):
+        out.write(f"  {name:<{width}}  {timings[name]:7.3f}s\n")
+    out.write(f"  {'total':<{width}}  {total:7.3f}s\n")
+
+
 def run_lint(
     paths: List[str],
     fmt: str = "text",
@@ -48,6 +73,8 @@ def run_lint(
     write_baseline_path: Optional[str] = None,
     select: Optional[List[str]] = None,
     list_rules: bool = False,
+    timings: bool = False,
+    budget: Optional[float] = None,
     out: Optional[TextIO] = None,
     err: Optional[TextIO] = None,
 ) -> int:
@@ -73,9 +100,12 @@ def run_lint(
         )
         return EXIT_USAGE
 
+    started = time.monotonic()
     root = find_project_root(scan_paths)
     project = discover(scan_paths, root=root)
-    findings = run_rules(project, rules)
+    rule_timings: Dict[str, float] = {}
+    findings = run_rules(project, rules, timings=rule_timings)
+    elapsed = time.monotonic() - started
 
     if write_baseline_path is not None:
         target = Path(write_baseline_path)
@@ -115,6 +145,13 @@ def run_lint(
             },
         }
         out.write(json.dumps(payload, indent=2) + "\n")
+    elif fmt == "github":
+        for finding in findings:
+            out.write(_gh_annotation(finding) + "\n")
+        out.write(
+            f"{len(errors)} error(s), {len(warnings)} warning(s), "
+            f"{len(grandfathered)} baselined\n"
+        )
     else:
         for finding in findings:
             out.write(finding.render() + "\n")
@@ -125,4 +162,16 @@ def run_lint(
             summary += f", {stale_count} stale baseline entr(y/ies)"
         out.write(summary + "\n")
 
-    return EXIT_FINDINGS if errors else EXIT_CLEAN
+    if timings:
+        _print_timings(rule_timings, elapsed, out)
+    over_budget = False
+    if budget is not None and elapsed > budget:
+        over_budget = True
+        message = (
+            f"lint took {elapsed:.1f}s, over the {budget:.0f}s budget"
+        )
+        if fmt == "github":
+            out.write(f"::error title=lint-budget::{_gh_escape(message)}\n")
+        err.write(f"repro lint: {message}\n")
+
+    return EXIT_FINDINGS if errors or over_budget else EXIT_CLEAN

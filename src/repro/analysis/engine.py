@@ -18,9 +18,23 @@ from __future__ import annotations
 import ast
 import os
 import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.callgraph import CallGraph
 
 #: inline suppression marker: ``# repro: lint-ignore[rule-a,rule-b]``
 SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ignore\[([^\]]+)\]")
@@ -98,11 +112,19 @@ class ModuleInfo:
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         """True when an inline suppression covers ``rule`` at ``line``."""
+        return self.suppression_line(rule, line) is not None
+
+    def suppression_line(self, rule: str, line: int) -> Optional[int]:
+        """The line of the suppression covering ``rule`` at ``line``
+        (the flagged line itself or a comment-only line above), or
+        None. Lets the engine track which suppressions actually fire."""
         here = self.suppressions.get(line)
         if here is not None and here.covers(rule):
-            return True
+            return line
         above = self.suppressions.get(line - 1)
-        return above is not None and above.comment_only and above.covers(rule)
+        if above is not None and above.comment_only and above.covers(rule):
+            return line - 1
+        return None
 
 
 class Project:
@@ -114,6 +136,16 @@ class Project:
         self._by_rel_path: Dict[str, ModuleInfo] = {}
         #: parse failures, reported as findings of the ``parse-error`` rule
         self.errors: List[Finding] = []
+        self._callgraph: Optional["CallGraph"] = None
+
+    def callgraph(self) -> "CallGraph":
+        """The project call graph, built on first use and cached (the
+        concurrency rules share one graph per lint run)."""
+        if self._callgraph is None:
+            from repro.analysis.callgraph import build_callgraph
+
+            self._callgraph = build_callgraph(self)
+        return self._callgraph
 
     def add(self, module: ModuleInfo) -> None:
         self.modules[module.name] = module
@@ -236,25 +268,79 @@ def discover(
 # ----------------------------------------------------------------------
 # rule dispatch
 # ----------------------------------------------------------------------
-def run_rules(project: Project, rules: Sequence[Rule]) -> List[Finding]:
-    """Run every rule; return suppression-filtered, sorted findings."""
+def run_rules(
+    project: Project,
+    rules: Sequence[Rule],
+    timings: Optional[Dict[str, float]] = None,
+) -> List[Finding]:
+    """Run every rule; return suppression-filtered, sorted findings.
+
+    Suppressions that silence at least one finding are *used*; the rest
+    are reported as warning-severity ``unused-suppression`` findings —
+    but only when every rule the marker names actually ran (a
+    ``--select`` subset must not flag markers for the rules it skipped),
+    and never for ``*`` markers (what they would cover is unknowable).
+
+    ``timings``, when given, is filled with per-rule wall seconds
+    (plus ``"<discover>"`` if the caller pre-populated it).
+    """
     findings: List[Finding] = list(project.errors)
     for rule in rules:
+        start = time.perf_counter()
         if rule.scope == "project":
             findings.extend(rule.check_project(project))
         else:
             for module in project.iter_modules():
                 findings.extend(rule.check_module(module, project))
-    kept = [f for f in findings if not _suppressed(project, f)]
+        if timings is not None:
+            timings[rule.name] = (timings.get(rule.name, 0.0)
+                                  + time.perf_counter() - start)
+    used: Set[Tuple[str, int]] = set()
+    kept = [f for f in findings if not _suppressed(project, f, used)]
+    executed = {rule.name for rule in rules} | {"parse-error"}
+    unused = [f for f in _unused_suppressions(project, used, executed)
+              if not _suppressed(project, f, used)]
+    kept.extend(unused)
     kept.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     return kept
 
 
-def _suppressed(project: Project, finding: Finding) -> bool:
+def _suppressed(
+    project: Project, finding: Finding, used: Set[Tuple[str, int]]
+) -> bool:
     module = project.module_at(finding.path)
     if module is None:
         return False
-    return module.is_suppressed(finding.rule, finding.line)
+    line = module.suppression_line(finding.rule, finding.line)
+    if line is None:
+        return False
+    used.add((finding.path, line))
+    return True
+
+
+def _unused_suppressions(
+    project: Project, used: Set[Tuple[str, int]], executed: Set[str]
+) -> Iterator[Finding]:
+    """Warning findings for ``lint-ignore`` markers that silenced
+    nothing in this run (dead suppressions must not accumulate)."""
+    for module in project.iter_modules():
+        for line in sorted(module.suppressions):
+            suppression = module.suppressions[line]
+            if (module.rel_path, line) in used:
+                continue
+            if "*" in suppression.rules:
+                continue
+            if not suppression.rules <= executed:
+                continue
+            yield Finding(
+                rule="unused-suppression",
+                path=module.rel_path,
+                line=line,
+                message=("suppression for %s silences nothing; "
+                         "remove the stale lint-ignore marker"
+                         % ", ".join(sorted(suppression.rules))),
+                severity="warning",
+            )
 
 
 # ----------------------------------------------------------------------

@@ -1,13 +1,16 @@
 """Rule registry for ``repro lint``.
 
-Seven rule families guard the properties the reproduction depends on:
+Eight rule families guard the properties the reproduction depends on:
 determinism (no entropy on stat-affecting paths), layering (the
 architecture DAG), hot-path hygiene (``__slots__`` on per-event
 records), stats parity (the event-horizon bit-identity invariant,
 checked for both simulation cores), fast-core allocation (no per-event
 record objects inside the flat-array hot loops), config coherence
-(field reads match field definitions), and telemetry imports (hot
-paths see only the zero-overhead no-op handle).
+(field reads match field definitions), telemetry imports (hot paths
+see only the zero-overhead no-op handle), and concurrency safety
+(no blocking calls reachable from async code, no dropped
+coroutines/tasks, process pools install the child initializer, and
+client route strings agree with the ``_route`` dispatchers).
 """
 
 from __future__ import annotations
@@ -15,6 +18,13 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.concurrency import (
+    AsyncBlockingCallRule,
+    FireAndForgetTaskRule,
+    PoolChildInitRule,
+    RouteConformanceRule,
+    UnawaitedCoroutineRule,
+)
 from repro.analysis.rules.config_coherence import (
     ConfigUnknownFieldRule,
     ConfigUnusedFieldRule,
@@ -43,6 +53,11 @@ ALL_RULES: List[Rule] = [
     ConfigUnknownFieldRule(),
     ConfigUnusedFieldRule(),
     TelemetryNoopImportRule(),
+    AsyncBlockingCallRule(),
+    UnawaitedCoroutineRule(),
+    FireAndForgetTaskRule(),
+    PoolChildInitRule(),
+    RouteConformanceRule(),
 ]
 
 
@@ -67,15 +82,19 @@ def get_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
 __all__ = [
     "ALL_RULES",
     "get_rules",
+    "AsyncBlockingCallRule",
     "AttrOutsideInitRule",
     "ConfigUnknownFieldRule",
     "ConfigUnusedFieldRule",
     "FastcoreAllocRule",
+    "FireAndForgetTaskRule",
     "LayeringRule",
     "MissingSlotsRule",
+    "PoolChildInitRule",
+    "RouteConformanceRule",
     "SetIterationRule",
     "StatsParityRule",
     "TelemetryNoopImportRule",
-    "UnseededRngRule",
+    "UnawaitedCoroutineRule",
     "WallClockRule",
 ]

@@ -193,7 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("paths", nargs="*", default=[],
                         help="files/directories to scan (default: src/repro)")
     p_lint.add_argument("--format", dest="format", default="text",
-                        choices=("text", "json"), help="report format")
+                        choices=("text", "json", "github"),
+                        help="report format (github emits Actions "
+                             "::error annotations)")
     p_lint.add_argument("--baseline", default=None,
                         help="baseline JSON (default: <root>/lint_baseline.json "
                              "when present)")
@@ -206,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule names (default: all)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="list the registered rules and exit")
+    p_lint.add_argument("--timings", action="store_true",
+                        help="print per-rule wall time after the report")
+    p_lint.add_argument("--budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fail (exit 1) if the full lint run takes "
+                             "longer than SECONDS")
 
     p_serve = sub.add_parser(
         "serve", help="run the simulation job server (see repro.service)")
@@ -607,7 +615,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args.paths, fmt=args.format, baseline=args.baseline,
                     no_baseline=args.no_baseline,
                     write_baseline_path=args.write_baseline,
-                    select=select, list_rules=args.list_rules)
+                    select=select, list_rules=args.list_rules,
+                    timings=args.timings, budget=args.budget)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:

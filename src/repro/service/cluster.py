@@ -642,9 +642,9 @@ class Coordinator(SimulationServer):
         self.counters["shard_put_failures"] += 1
 
     # -- routing --------------------------------------------------------
-    def _route(self, method: str, path: str,
-               body: Optional[Dict[str, object]]
-               ) -> Tuple[int, Dict[str, object]]:
+    async def _route(self, method: str, path: str,
+                     body: Optional[Dict[str, object]]
+                     ) -> Tuple[int, Dict[str, object]]:
         parts = [p for p in path.split("/") if p]
         if parts and parts[0] == "workers":
             if method == "GET" and len(parts) == 1:
@@ -662,7 +662,7 @@ class Coordinator(SimulationServer):
                 if parts[2] == "deregister":
                     return self._deregister(parts[1])
             return 404, {"error": "no route for %s %s" % (method, path)}
-        status, payload = super()._route(method, path, body)
+        status, payload = await super()._route(method, path, body)
         if method == "GET" and parts == ["healthz"] and status == 200:
             alive = self.alive_workers()
             payload["mode"] = "coordinator"
@@ -712,6 +712,7 @@ class WorkerNode:
         self._pool_lock = asyncio.Lock()
         self._server: Optional[asyncio.AbstractServer] = None
         self._beat: Optional[asyncio.Task] = None
+        self._drain_task: Optional[asyncio.Task] = None
         self._drained = asyncio.Event()
 
     # -- lifecycle ------------------------------------------------------
@@ -732,7 +733,7 @@ class WorkerNode:
     def request_drain(self) -> None:
         if not self.draining:
             self.draining = True
-            asyncio.ensure_future(self._shutdown())
+            self._drain_task = asyncio.ensure_future(self._shutdown())
 
     def install_signal_handlers(self) -> None:
         loop = asyncio.get_event_loop()
@@ -759,10 +760,13 @@ class WorkerNode:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        loop = asyncio.get_event_loop()
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            pool = self._pool
+            await loop.run_in_executor(
+                None, lambda: pool.shutdown(wait=True))
         if self.store is not None:
-            self.store.close()
+            await loop.run_in_executor(None, self.store.close)
         self._drained.set()
 
     # -- registration + heartbeats --------------------------------------
@@ -872,14 +876,21 @@ class WorkerNode:
                      ) -> Tuple[int, Dict[str, object]]:
         parts = [p for p in path.split("/") if p]
         if method == "GET" and parts == ["healthz"]:
+            store_info: Optional[Dict[str, object]] = None
+            if self.store is not None:
+                loop = asyncio.get_event_loop()
+                store_info = await loop.run_in_executor(
+                    None, self.store.info)
+            # probed directly by operators / the chaos harness, not by
+            # any in-repo client class
+            # repro: lint-ignore[route-conformance]
             return 200, {
                 "state": "draining" if self.draining else "running",
                 "name": self.name, "id": self.worker_id,
                 "slots": self.slots, "busy": self.busy,
                 "executed": self.executed,
                 "coordinator": "%s:%d" % self.coordinator,
-                "store": (self.store.info()
-                          if self.store is not None else None),
+                "store": store_info,
             }
         if method == "POST" and parts == ["execute"]:
             return await self._execute(body or {})
@@ -890,6 +901,9 @@ class WorkerNode:
                 return await self._store_put(parts[1], body or {})
         if method == "POST" and parts == ["shutdown"]:
             self.request_drain()
+            # sent by the test harness's raw drain helper, not by an
+            # in-repo client class
+            # repro: lint-ignore[route-conformance]
             return 202, {"state": "draining"}
         return 404, {"error": "no route for %s %s" % (method, path)}
 

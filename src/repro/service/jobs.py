@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import signal
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -27,6 +26,7 @@ from typing import Dict, Optional
 from repro.simulator.config import MachineConfig
 from repro.simulator.manifest import config_hash
 from repro.simulator.policies import POLICIES
+from repro.utils import pool_child_init  # noqa: F401  (re-export: historic home)
 from repro.workloads.profiles import BENCHMARK_NAMES
 
 
@@ -154,21 +154,6 @@ def normalize_submission(body: Dict[str, object]) -> Dict[str, object]:
     return payload
 
 
-def pool_child_init() -> None:
-    """Process-pool initializer: detach from the parent's signal plumbing.
-
-    Pool children are forked from a server/worker whose asyncio loop
-    routes SIGTERM/SIGINT through a wakeup fd (``add_signal_handler``).
-    A child inherits both the C-level handler and the *shared* wakeup
-    socketpair, so signalling a child (e.g. :func:`tear_down_pool`
-    terminating a wedged simulation) would write into the parent's
-    wakeup fd and spuriously trigger the parent's own drain handler.
-    Restoring default dispositions makes a child's SIGTERM kill only
-    the child.
-    """
-    signal.set_wakeup_fd(-1)
-    for sig in (signal.SIGTERM, signal.SIGINT):
-        signal.signal(sig, signal.SIG_DFL)
 
 
 def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:

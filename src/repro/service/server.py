@@ -154,10 +154,13 @@ class SimulationServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        loop = asyncio.get_event_loop()
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            pool = self._pool
+            await loop.run_in_executor(
+                None, lambda: pool.shutdown(wait=True))
         if self.store is not None:
-            self.store.close()
+            await loop.run_in_executor(None, self.store.close)
         self._drained.set()
 
     def install_signal_handlers(self) -> None:
@@ -379,13 +382,18 @@ class SimulationServer:
         return 202, {"job": job.summary(), "note": "cancel requested; "
                      "takes effect at the attempt boundary"}
 
-    def _route(self, method: str, path: str,
-               body: Optional[Dict[str, object]]
-               ) -> Tuple[int, Dict[str, object]]:
+    async def _route(self, method: str, path: str,
+                     body: Optional[Dict[str, object]]
+                     ) -> Tuple[int, Dict[str, object]]:
         parts = [p for p in path.split("/") if p]
         if method == "GET" and parts == ["healthz"]:
             running = sum(1 for j in self.jobs.values()
                           if j.state == JobState.RUNNING)
+            store_info: Optional[Dict[str, object]] = None
+            if self.store is not None:
+                loop = asyncio.get_event_loop()
+                store_info = await loop.run_in_executor(
+                    None, self.store.info)
             return 200, {
                 "state": "draining" if self.draining else "running",
                 "workers": self.worker_count,
@@ -394,8 +402,7 @@ class SimulationServer:
                 "jobs": len(self.jobs),
                 "queue_limit": self.queue_limit,
                 "counters": dict(self.counters),
-                "store": (self.store.info()
-                          if self.store is not None else None),
+                "store": store_info,
             }
         if method == "GET" and parts == ["jobs"]:
             return 200, {"jobs": [self.jobs[j].summary()
@@ -428,7 +435,7 @@ class SimulationServer:
             parsed = await _read_request(reader)
             if parsed is not None:
                 method, path, body = parsed
-                status, payload = self._route(method, path, body)
+                status, payload = await self._route(method, path, body)
         except (ValueError, asyncio.IncompleteReadError) as exc:
             status, payload = 400, {"error": "bad request: %s" % exc}
         except Exception as exc:  # noqa: BLE001 - control plane must answer

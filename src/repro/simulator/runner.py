@@ -31,7 +31,7 @@ from repro.simulator.config import MachineConfig
 from repro.simulator.manifest import CellRecord, RunManifest, config_hash
 from repro.simulator.policies import PolicySpec, build_machine, get_policy
 from repro.simulator.stats import SimulationStats
-from repro.utils import geomean
+from repro.utils import geomean, pool_child_init
 from repro.workloads.generator import generate_layout
 from repro.workloads.layout import CodeLayout
 from repro.workloads.profiles import BENCHMARK_NAMES, get_profile
@@ -225,7 +225,8 @@ def _execute_cells(pending: Dict[str, tuple], jobs: int, retries: int,
                     failed[key] = cell
                     errors[key] = repr(exc)
         else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            with ProcessPoolExecutor(max_workers=jobs,
+                                     initializer=pool_child_init) as pool:
                 futures = {pool.submit(_simulate_cell, cell): key
                            for key, cell in remaining.items()}
                 for future in as_completed(futures):

@@ -14,6 +14,7 @@ import dataclasses
 import hashlib
 import json
 import random
+import signal
 import sys
 
 #: ``@dataclass(**SLOTTED)`` gives hot-path record classes ``__slots__``
@@ -108,3 +109,25 @@ def geomean(values) -> float:
             raise ValueError("geomean requires positive values, got %r" % (v,))
         product *= v
     return product ** (1.0 / len(values))
+
+
+def pool_child_init() -> None:
+    """Process-pool initializer: detach from the parent's signal plumbing.
+
+    Pool children are forked from a server/worker whose asyncio loop
+    routes SIGTERM/SIGINT through a wakeup fd (``add_signal_handler``).
+    A child inherits both the C-level handler and the *shared* wakeup
+    socketpair, so signalling a child (e.g. ``tear_down_pool``
+    terminating a wedged simulation) would write into the parent's
+    wakeup fd and spuriously trigger the parent's own drain handler.
+    Restoring default dispositions makes a child's SIGTERM kill only
+    the child.
+
+    Lives here (not in ``repro.service.jobs``) so the batch runner in
+    ``repro.simulator`` can install it too without breaking the
+    layering DAG; the ``pool-child-init`` lint rule requires it at
+    every ``ProcessPoolExecutor`` construction site.
+    """
+    signal.set_wakeup_fd(-1)
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, signal.SIG_DFL)

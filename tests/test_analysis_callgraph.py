@@ -1,0 +1,322 @@
+"""Call-graph unit tests: resolution surface, cycles, silence on failure.
+
+Each test builds a tiny package under ``tmp_path`` and inspects the
+graph directly — the concurrency rules are tested separately; here we
+pin the resolver semantics they depend on.
+"""
+
+from textwrap import dedent
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.engine import discover
+
+
+def build(tmp_path, files):
+    merged = {"pkg/__init__.py": ""}
+    merged.update(files)
+    for rel, source in merged.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(source))
+    project = discover([tmp_path], root=tmp_path)
+    return build_callgraph(project)
+
+
+def callees(graph, qname):
+    fn = graph.function(qname)
+    assert fn is not None, f"no function {qname!r} in graph"
+    return [(site.callee, site.external) for site in fn.calls]
+
+
+class TestNameResolution:
+    def test_cross_module_from_import(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": "def helper():\n    pass\n",
+            "pkg/b.py": """\
+                from pkg.a import helper
+
+                def caller():
+                    helper()
+            """,
+        })
+        assert callees(graph, "pkg.b:caller") == [("pkg.a:helper", None)]
+
+    def test_reexport_chain_is_followed(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/impl.py": "def real():\n    pass\n",
+            "pkg/shim.py": "from pkg.impl import real\n",
+            "pkg/use.py": """\
+                from pkg.shim import real
+
+                def caller():
+                    real()
+            """,
+        })
+        assert callees(graph, "pkg.use:caller") == [("pkg.impl:real", None)]
+
+    def test_relative_import(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": "def helper():\n    pass\n",
+            "pkg/b.py": """\
+                from .a import helper
+
+                def caller():
+                    helper()
+            """,
+        })
+        assert callees(graph, "pkg.b:caller") == [("pkg.a:helper", None)]
+
+    def test_module_alias_attribute_call(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": "def helper():\n    pass\n",
+            "pkg/b.py": """\
+                import pkg.a
+
+                def caller():
+                    pkg.a.helper()
+            """,
+        })
+        assert callees(graph, "pkg.b:caller") == [("pkg.a:helper", None)]
+
+    def test_external_and_builtin_calls(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                import time
+
+                def caller():
+                    time.sleep(1)
+                    open("x")
+            """,
+        })
+        assert callees(graph, "pkg.a:caller") == [
+            (None, "time.sleep"), (None, "open")]
+
+    def test_unresolvable_is_silent(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                def caller(mystery):
+                    mystery.frobnicate()
+                    (lambda: 1)()
+            """,
+        })
+        assert callees(graph, "pkg.a:caller") == []
+
+
+class TestMethodResolution:
+    def test_self_method_and_inheritance(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                class Base:
+                    def shared(self):
+                        pass
+
+                class Child(Base):
+                    def go(self):
+                        self.shared()
+            """,
+        })
+        assert callees(graph, "pkg.a:Child.go") == [
+            ("pkg.a:Base.shared", None)]
+
+    def test_super_call(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                class Base:
+                    def go(self):
+                        pass
+
+                class Child(Base):
+                    def go(self):
+                        super().go()
+            """,
+        })
+        assert callees(graph, "pkg.a:Child.go") == [("pkg.a:Base.go", None)]
+
+    def test_cross_module_base_class(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/base.py": """\
+                class Base:
+                    def shared(self):
+                        pass
+            """,
+            "pkg/child.py": """\
+                from pkg.base import Base
+
+                class Child(Base):
+                    def go(self):
+                        self.shared()
+            """,
+        })
+        assert callees(graph, "pkg.child:Child.go") == [
+            ("pkg.base:Base.shared", None)]
+
+    def test_attr_type_from_init_ctor(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/store.py": """\
+                class Store:
+                    def close(self):
+                        pass
+            """,
+            "pkg/svc.py": """\
+                from pkg.store import Store
+
+                class Service:
+                    def __init__(self):
+                        self.store = Store()
+
+                    def stop(self):
+                        self.store.close()
+            """,
+        })
+        assert callees(graph, "pkg.svc:Service.stop") == [
+            ("pkg.store:Store.close", None)]
+
+    def test_optional_annotation_wins_over_init_none(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/store.py": """\
+                class Store:
+                    def close(self):
+                        pass
+            """,
+            "pkg/svc.py": """\
+                from typing import Optional
+
+                from pkg.store import Store
+
+                class Service:
+                    def start(self):
+                        self.store: Optional[Store] = None
+
+                    def stop(self):
+                        self.store.close()
+            """,
+        })
+        assert callees(graph, "pkg.svc:Service.stop") == [
+            ("pkg.store:Store.close", None)]
+
+    def test_annotated_param_and_local_ctor(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/store.py": """\
+                class Store:
+                    def close(self):
+                        pass
+            """,
+            "pkg/use.py": """\
+                from pkg.store import Store
+
+                def direct(store: Store):
+                    store.close()
+
+                def local():
+                    s = Store()
+                    s.close()
+            """,
+        })
+        assert callees(graph, "pkg.use:direct") == [
+            ("pkg.store:Store.close", None)]
+        # the constructor call itself is a site tagged class:<qname>
+        assert callees(graph, "pkg.use:local") == [
+            (None, "class:pkg.store:Store"),
+            ("pkg.store:Store.close", None),
+        ]
+
+
+class TestExternalOrigins:
+    def test_factory_result_methods_are_tagged(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                import sqlite3
+
+                def chained():
+                    sqlite3.connect(":memory:").execute("select 1")
+
+                def stored():
+                    db = sqlite3.connect(":memory:")
+                    db.execute("select 1")
+            """,
+        })
+        # the inner factory call is a site of its own (it executes
+        # too); the chained method is tagged with the factory origin
+        assert callees(graph, "pkg.a:chained") == [
+            (None, "sqlite3.connect.execute"),
+            (None, "sqlite3.connect"),
+        ]
+        assert callees(graph, "pkg.a:stored") == [
+            (None, "sqlite3.connect"),
+            (None, "sqlite3.connect.execute"),
+        ]
+
+    def test_withitem_typing(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                def caller():
+                    with open("x") as fh:
+                        fh.read()
+            """,
+        })
+        assert callees(graph, "pkg.a:caller") == [
+            (None, "open"), (None, "open.read")]
+
+
+class TestScopes:
+    def test_nested_defs_are_separate_functions(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                import time
+
+                def outer():
+                    def inner():
+                        time.sleep(1)
+                    inner()
+            """,
+        })
+        # outer's only call edge is to the nested def; the blocking
+        # call belongs to inner's own FunctionInfo
+        assert callees(graph, "pkg.a:outer") == [
+            ("pkg.a:outer.<locals>.inner", None)]
+        assert callees(graph, "pkg.a:outer.<locals>.inner") == [
+            (None, "time.sleep")]
+
+    def test_lambda_bodies_are_not_attributed(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                import time
+
+                def caller(loop):
+                    loop.run_in_executor(None, lambda: time.sleep(1))
+            """,
+        })
+        # loop is untyped -> run_in_executor unresolved; the lambda's
+        # time.sleep must not leak into caller's call list
+        assert callees(graph, "pkg.a:caller") == []
+
+    def test_recursion_and_mutual_recursion_build(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                def ping():
+                    pong()
+
+                def pong():
+                    ping()
+
+                def solo():
+                    solo()
+            """,
+        })
+        assert callees(graph, "pkg.a:ping") == [("pkg.a:pong", None)]
+        assert callees(graph, "pkg.a:pong") == [("pkg.a:ping", None)]
+        assert callees(graph, "pkg.a:solo") == [("pkg.a:solo", None)]
+
+    def test_site_for_maps_ast_nodes(self, tmp_path):
+        graph = build(tmp_path, {
+            "pkg/a.py": """\
+                def helper():
+                    pass
+
+                def caller():
+                    helper()
+            """,
+        })
+        fn = graph.function("pkg.a:caller")
+        site = fn.calls[0]
+        assert graph.site_for(site.node) is site

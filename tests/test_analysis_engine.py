@@ -168,3 +168,67 @@ class TestRegistry:
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError, match="unknown rule"):
             get_rules(["no-such-rule"])
+
+
+class TestUnusedSuppressions:
+    def test_stale_marker_is_flagged_as_warning(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/simulator/__init__.py": "",
+            "pkg/simulator/clean.py":
+                "x = 1  # repro: lint-ignore[determinism-wallclock]\n",
+        }, [WallClockRule()])
+        assert [f.rule for f in findings] == ["unused-suppression"]
+        assert findings[0].severity == "warning"
+        assert "determinism-wallclock" in findings[0].message
+
+    def test_used_marker_is_not_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/simulator/__init__.py": "",
+            "pkg/simulator/clock.py":
+                "import time\n"
+                "t = time.time()  # repro: lint-ignore[determinism-wallclock]\n",
+        }, [WallClockRule()])
+        assert findings == []
+
+    def test_star_marker_is_never_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/simulator/__init__.py": "",
+            "pkg/simulator/clean.py": "x = 1  # repro: lint-ignore[*]\n",
+        }, [WallClockRule()])
+        assert findings == []
+
+    def test_marker_for_unexecuted_rule_is_not_flagged(self, tmp_path):
+        # with --select the marked rule never ran, so the marker cannot
+        # be judged stale
+        findings = lint_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/simulator/__init__.py": "",
+            "pkg/simulator/clean.py":
+                "x = 1  # repro: lint-ignore[determinism-unseeded-rng]\n",
+        }, [WallClockRule()])
+        assert findings == []
+
+    def test_comment_only_marker_covering_next_line_counts_as_used(
+            self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/simulator/__init__.py": "",
+            "pkg/simulator/clock.py":
+                "import time\n"
+                "# repro: lint-ignore[determinism-wallclock]\n"
+                "t = time.time()\n",
+        }, [WallClockRule()])
+        assert findings == []
+
+    def test_unused_warning_survives_baseline_free_run(self, tmp_path):
+        # warnings do not flip the exit path, but they are reported
+        findings = lint_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/simulator/__init__.py": "",
+            "pkg/simulator/clean.py":
+                "x = 1  # repro: lint-ignore[determinism-wallclock]\n",
+        }, [WallClockRule()])
+        assert all(f.severity == "warning" for f in findings)

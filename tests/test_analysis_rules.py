@@ -10,6 +10,13 @@ from textwrap import dedent
 
 from repro.analysis.engine import discover, run_rules
 from repro.analysis.rules import get_rules
+from repro.analysis.rules.concurrency import (
+    AsyncBlockingCallRule,
+    FireAndForgetTaskRule,
+    PoolChildInitRule,
+    RouteConformanceRule,
+    UnawaitedCoroutineRule,
+)
 from repro.analysis.rules.config_coherence import (
     ConfigUnknownFieldRule,
     ConfigUnusedFieldRule,
@@ -638,3 +645,421 @@ class TestWholeRegistry:
                 "from pkg.telemetry.session import TelemetrySession\n",
         }, get_rules())
         assert "telemetry-noop-import" in rules_fired(findings)
+
+
+class TestAsyncBlockingCall:
+    def test_direct_blocking_call_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import time
+
+                async def handler():
+                    time.sleep(1)
+            """,
+        }, [AsyncBlockingCallRule()])
+        assert rules_fired(findings) == ["async-blocking-call"]
+        assert "time.sleep" in findings[0].message
+
+    def test_transitive_through_sync_helper(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import sqlite3
+
+                def helper():
+                    sqlite3.connect(":memory:")
+
+                async def handler():
+                    helper()
+            """,
+        }, [AsyncBlockingCallRule()])
+        assert rules_fired(findings) == ["async-blocking-call"]
+        assert "via helper" in findings[0].message
+
+    def test_transitive_across_modules(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/store.py": """\
+                import sqlite3
+
+                class Store:
+                    def __init__(self):
+                        self._db = sqlite3.connect(":memory:")
+
+                    def info(self):
+                        return self._db.execute("select 1")
+            """,
+            "pkg/service/srv.py": """\
+                from pkg.service.store import Store
+
+                class Server:
+                    def __init__(self, store: Store):
+                        self.store = store
+
+                    async def handler(self):
+                        return self.store.info()
+            """,
+        }, [AsyncBlockingCallRule()])
+        assert rules_fired(findings) == ["async-blocking-call"]
+        assert "Store.info" in findings[0].message
+
+    def test_executor_offload_is_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import asyncio
+                import time
+
+                async def handler():
+                    loop = asyncio.get_event_loop()
+                    await loop.run_in_executor(None, lambda: time.sleep(1))
+                    await loop.run_in_executor(None, time.sleep, 1)
+            """,
+        }, [AsyncBlockingCallRule()])
+        assert findings == []
+
+    def test_helper_recursion_does_not_loop(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                def ping(n):
+                    if n:
+                        pong(n - 1)
+
+                def pong(n):
+                    ping(n)
+
+                async def handler():
+                    ping(3)
+            """,
+        }, [AsyncBlockingCallRule()])
+        assert findings == []
+
+    def test_executor_shutdown_wait_false_is_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                class Server:
+                    def __init__(self):
+                        self.pool: ProcessPoolExecutor = None
+
+                    async def fast(self):
+                        self.pool.shutdown(wait=False)
+
+                    async def slow(self):
+                        self.pool.shutdown(wait=True)
+            """,
+        }, [AsyncBlockingCallRule()])
+        assert rules_fired(findings) == ["async-blocking-call"]
+        assert len(findings) == 1
+        assert "shutdown" in findings[0].message
+
+    def test_suppressed(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import time
+
+                async def handler():
+                    time.sleep(1)  # repro: lint-ignore[async-blocking-call]
+            """,
+        }, [AsyncBlockingCallRule()])
+        assert findings == []
+
+
+class TestUnawaitedCoroutine:
+    def test_discarded_project_coroutine_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                async def job():
+                    pass
+
+                async def handler():
+                    job()
+            """,
+        }, [UnawaitedCoroutineRule()])
+        assert rules_fired(findings) == ["unawaited-coroutine"]
+        assert "'job'" in findings[0].message
+
+    def test_discarded_stdlib_coroutine_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import asyncio
+
+                async def handler():
+                    asyncio.sleep(1)
+            """,
+        }, [UnawaitedCoroutineRule()])
+        assert rules_fired(findings) == ["unawaited-coroutine"]
+
+    def test_awaited_and_scheduled_are_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import asyncio
+
+                async def job():
+                    pass
+
+                async def handler():
+                    await job()
+                    task = asyncio.ensure_future(job())
+                    return task
+            """,
+        }, [UnawaitedCoroutineRule()])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                async def job():
+                    pass
+
+                async def handler():
+                    job()  # repro: lint-ignore[unawaited-coroutine]
+            """,
+        }, [UnawaitedCoroutineRule()])
+        assert findings == []
+
+
+class TestFireAndForgetTask:
+    def test_discarded_task_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import asyncio
+
+                async def job():
+                    pass
+
+                def kick():
+                    asyncio.ensure_future(job())
+
+                def kick2(loop):
+                    loop.create_task(job())
+            """,
+        }, [FireAndForgetTaskRule()])
+        assert len(findings) == 2
+        assert rules_fired(findings) == ["fire-and-forget-task"]
+
+    def test_retained_task_is_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import asyncio
+
+                async def job():
+                    pass
+
+                def kick(tracked):
+                    handle = asyncio.ensure_future(job())
+                    tracked.add(asyncio.create_task(job()))
+                    return handle
+            """,
+        }, [FireAndForgetTaskRule()])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import asyncio
+
+                async def job():
+                    pass
+
+                def kick():
+                    # repro: lint-ignore[fire-and-forget-task]
+                    asyncio.ensure_future(job())
+            """,
+        }, [FireAndForgetTaskRule()])
+        assert findings == []
+
+
+class TestPoolChildInit:
+    def test_missing_initializer_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def make():
+                    return ProcessPoolExecutor(max_workers=2)
+            """,
+        }, [PoolChildInitRule()])
+        assert rules_fired(findings) == ["pool-child-init"]
+
+    def test_wrong_initializer_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def make(other):
+                    return ProcessPoolExecutor(initializer=other)
+            """,
+        }, [PoolChildInitRule()])
+        assert rules_fired(findings) == ["pool-child-init"]
+        assert "expected pool_child_init" in findings[0].message
+
+    def test_correct_initializer_is_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                import concurrent.futures
+                from concurrent.futures import ProcessPoolExecutor
+
+                from pkg.utils import pool_child_init
+
+                def make():
+                    return ProcessPoolExecutor(
+                        max_workers=2, initializer=pool_child_init)
+
+                def make2(kw):
+                    # splatted kwargs may carry it; cannot tell -> silent
+                    return concurrent.futures.ProcessPoolExecutor(**kw)
+            """,
+        }, [PoolChildInitRule()])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/a.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def make():
+                    # repro: lint-ignore[pool-child-init]
+                    return ProcessPoolExecutor(max_workers=2)
+            """,
+        }, [PoolChildInitRule()])
+        assert findings == []
+
+
+_ROUTE_SERVER = """\
+    from typing import Dict, Optional, Tuple
+
+    class SimulationServer:
+        def _route(self, method: str, path: str,
+                   body: Optional[Dict[str, object]]
+                   ) -> Tuple[int, Dict[str, object]]:
+            parts = [p for p in path.split("/") if p]
+            if method == "GET" and parts == ["healthz"]:
+                return 200, {"ok": True}
+            if method == "POST" and parts == ["jobs"]:
+                return 201, {"id": "j1"}
+            if len(parts) == 2 and parts[0] == "jobs":
+                if method == "GET":
+                    return 200, {"job": parts[1]}
+            return 404, {"error": "no route"}
+"""
+
+_ROUTE_CLIENT = """\
+    class ServiceClient:
+        def _checked(self, method, path, body=None, ok=(200,)):
+            pass
+
+        def health(self):
+            return self._checked("GET", "/healthz")
+
+        def submit(self):
+            return self._checked("POST", "/jobs", {})
+
+        def job(self, job_id):
+            return self._checked("GET", "/jobs/%s" % job_id)
+"""
+
+
+class TestRouteConformance:
+    def test_matching_protocol_is_clean(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/server.py": _ROUTE_SERVER,
+            "pkg/service/client.py": _ROUTE_CLIENT,
+        }, [RouteConformanceRule()])
+        assert findings == []
+
+    def test_client_side_rename_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/server.py": _ROUTE_SERVER,
+            "pkg/service/client.py":
+                _ROUTE_CLIENT.replace('"/healthz"', '"/health"'),
+        }, [RouteConformanceRule()])
+        fired = rules_fired(findings)
+        assert fired == ["route-conformance"]
+        # both directions: the send has no handler, the handler no sender
+        messages = " | ".join(f.message for f in findings)
+        assert "GET /health " in messages or "GET /health but" in messages
+        assert "GET /healthz" in messages
+
+    def test_server_side_rename_fires(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/server.py":
+                _ROUTE_SERVER.replace('["healthz"]', '["health-z"]'),
+            "pkg/service/client.py": _ROUTE_CLIENT,
+        }, [RouteConformanceRule()])
+        assert rules_fired(findings) == ["route-conformance"]
+
+    def test_dead_route_fires(self, tmp_path):
+        extra = (
+            '            if method == "POST" and parts == ["reset"]:\n'
+            '                return 200, {}\n'
+        )
+        source = _ROUTE_SERVER.replace(
+            '            return 404, {"error": "no route"}\n',
+            extra + '            return 404, {"error": "no route"}\n')
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/server.py": source,
+            "pkg/service/client.py": _ROUTE_CLIENT,
+        }, [RouteConformanceRule()])
+        assert rules_fired(findings) == ["route-conformance"]
+        assert "POST /reset" in findings[0].message
+        assert "no client-side sender" in findings[0].message
+
+    def test_wildcard_send_matches_literal_segment(self, tmp_path):
+        # "/jobs/%s" must match the parts[0] == "jobs", len == 2 handler
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/server.py": _ROUTE_SERVER,
+            "pkg/service/client.py": _ROUTE_CLIENT,
+        }, [RouteConformanceRule()])
+        assert findings == []
+
+    def test_no_service_modules_is_silent(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/core/a.py": "x = 1\n",
+        }, [RouteConformanceRule()])
+        assert findings == []
+
+    def test_suppressed_dead_route(self, tmp_path):
+        extra = (
+            '            if method == "POST" and parts == ["reset"]:\n'
+            '                # repro: lint-ignore[route-conformance]\n'
+            '                return 200, {}\n'
+        )
+        source = _ROUTE_SERVER.replace(
+            '            return 404, {"error": "no route"}\n',
+            extra + '            return 404, {"error": "no route"}\n')
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/server.py": source,
+            "pkg/service/client.py": _ROUTE_CLIENT,
+        }, [RouteConformanceRule()])
+        assert findings == []
+
+
+class TestConcurrencyRegistry:
+    def test_concurrency_rules_registered(self):
+        names = {rule.name for rule in get_rules()}
+        assert {"async-blocking-call", "unawaited-coroutine",
+                "fire-and-forget-task", "pool-child-init",
+                "route-conformance"} <= names

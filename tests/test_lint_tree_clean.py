@@ -52,3 +52,62 @@ class TestCliWiring:
 
     def test_lint_via_cli_on_tree(self, capsys):
         assert main(["lint", str(REPO / "src" / "repro")]) == 0
+
+
+class TestGithubFormatAndBudget:
+    def _dirty_tree(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        sim = pkg / "simulator"
+        sim.mkdir()
+        (sim / "__init__.py").write_text("")
+        (sim / "clock.py").write_text("import time\nt = time.time()\n")
+        return tmp_path
+
+    def test_github_annotations_on_findings(self, tmp_path):
+        root = self._dirty_tree(tmp_path)
+        out, err = io.StringIO(), io.StringIO()
+        code = run_lint([str(root)], fmt="github", no_baseline=True,
+                        out=out, err=err)
+        assert code == 1
+        lines = out.getvalue().splitlines()
+        annotations = [l for l in lines if l.startswith("::error ")]
+        assert annotations, out.getvalue()
+        assert "file=pkg/simulator/clock.py" in annotations[0]
+        assert "line=2" in annotations[0]
+        assert "title=determinism-wallclock" in annotations[0]
+
+    def test_github_format_clean_tree(self):
+        out = io.StringIO()
+        code = run_lint([str(REPO / "src" / "repro")], fmt="github", out=out)
+        assert code == 0
+        assert "::error" not in out.getvalue()
+
+    def test_timings_table_printed(self):
+        out = io.StringIO()
+        code = run_lint([str(REPO / "src" / "repro")], timings=True, out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "rule timings:" in text
+        for name in ("async-blocking-call", "route-conformance", "total"):
+            assert name in text
+
+    def test_budget_exceeded_fails(self):
+        out, err = io.StringIO(), io.StringIO()
+        code = run_lint([str(REPO / "src" / "repro")], budget=0.0,
+                        out=out, err=err)
+        assert code == 1
+        assert "over the 0s budget" in err.getvalue()
+
+    def test_generous_budget_passes(self):
+        out = io.StringIO()
+        code = run_lint([str(REPO / "src" / "repro")], budget=300.0, out=out)
+        assert code == 0
+
+    def test_cli_flags_parse(self, capsys):
+        assert main(["lint", str(REPO / "src" / "repro"),
+                     "--format", "github", "--timings",
+                     "--budget", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "rule timings:" in out
