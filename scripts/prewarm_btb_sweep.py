@@ -1,21 +1,19 @@
-"""Pre-warm the result cache for the BTB-sweep figures (fig14/fig15).
+"""Pre-warm the result store/cache for the BTB-sweep figures (fig14/15).
 
-One parallel suite per BTB size (``--jobs N`` or ``REPRO_JOBS``;
-default: all cores); all sizes accumulate into a single run manifest.
-``--store DIR`` (or ``REPRO_STORE``) also persists every cell into the
-durable result store, so later served or batch runs reuse the sweep.
+A thin front end over the declarative sweep engine: the grid — sweep
+benchmarks x headline policies x {4K, 64K} BTB entries — lives in
+``examples/sweeps/btb_sweep.toml``; this script compiles and executes
+it (``--jobs N`` or ``REPRO_JOBS``). Warm cells in ``--store DIR`` /
+``REPRO_STORE`` or the local result cache are skipped.
 """
 import argparse
 import time
+from pathlib import Path
 
-from repro.experiments.common import SWEEP_BENCHMARKS
 from repro.service.store import ResultStore, store_from_env
-from repro.simulator import manifest as manifest_mod
-from repro.simulator.config import MachineConfig
-from repro.simulator.runner import run_suite_parallel
+from repro.sweeps import compile_spec, load_spec, run_sweep
 
-POLICIES = ["baseline", "eip_46", "pdip_11", "pdip_44", "pdip_44_emissary"]
-SIZES = [4096, 65536]  # 8192 covered by the main grid
+SPEC = Path(__file__).resolve().parents[1] / "examples" / "sweeps" / "btb_sweep.toml"
 
 
 def main() -> None:
@@ -26,21 +24,20 @@ def main() -> None:
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="durable result store to read/write "
                              "(default: REPRO_STORE env, else none)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="also write the JSON sweep report here")
     args = parser.parse_args()
     store = ResultStore(args.store) if args.store else store_from_env()
 
     t0 = time.time()
-    manifest = manifest_mod.RunManifest(label="prewarm_btb_sweep")
-    for entries in SIZES:
-        config = MachineConfig(btb_entries=entries)
-        print(f"--- btb={entries} ---")
-        run_suite_parallel(POLICIES, benchmarks=SWEEP_BENCHMARKS,
-                           config=config, jobs=args.jobs, verbose=True,
-                           manifest=manifest, store=store)
-    path = manifest.write()
-    print(manifest_mod.render_summary(manifest.to_dict()))
-    print(f"manifest: {path}")
-    print("DONE", f"{time.time() - t0:.0f}s")
+    plan = compile_spec(load_spec(SPEC))
+    report = run_sweep(plan, store=store, jobs=args.jobs,
+                       report_path=args.report, verbose=True)
+    counts = report.counts
+    print(f"DONE {counts['total']} cells: {counts['store']} store, "
+          f"{counts['cache']} cache, {counts['executed']} executed, "
+          f"{counts['failed']} failed in {time.time() - t0:.0f}s")
+    raise SystemExit(1 if counts["failed"] else 0)
 
 
 if __name__ == "__main__":

@@ -1,22 +1,20 @@
-"""Pre-warm the result cache for the main figure grid.
+"""Pre-warm the result store/cache for the main figure grid.
 
-Fans the (benchmark x policy) grid out across worker processes
-(``--jobs N`` or ``REPRO_JOBS``; default: all cores) and prints the run
-manifest summary when done. Already-cached cells are skipped.
-``--store DIR`` (or ``REPRO_STORE``) also persists every cell into the
-durable result store, so later served or batch runs reuse the grid.
+A thin front end over the declarative sweep engine: the grid itself
+lives in ``examples/sweeps/main_grid.toml`` and this script just
+compiles and executes it (``--jobs N`` or ``REPRO_JOBS``; default: all
+cores). Warm cells — in ``--store DIR`` / ``REPRO_STORE`` or the local
+result cache — are skipped; only dirty cells simulate, so re-running
+after a config tweak re-executes exactly the affected cells.
 """
 import argparse
 import time
+from pathlib import Path
 
 from repro.service.store import ResultStore, store_from_env
-from repro.simulator import manifest as manifest_mod
-from repro.simulator.runner import run_suite_parallel
-from repro.workloads.profiles import BENCHMARK_NAMES
+from repro.sweeps import compile_spec, load_spec, run_sweep
 
-POLICIES = ["baseline", "2x_il1", "emissary", "eip_46", "eip_analytical",
-            "eip_46_emissary", "pdip_11", "pdip_22", "pdip_44", "pdip_87",
-            "pdip_44_emissary", "pdip_44_zero_cost", "fec_ideal"]
+SPEC = Path(__file__).resolve().parents[1] / "examples" / "sweeps" / "main_grid.toml"
 
 
 def main() -> None:
@@ -27,19 +25,20 @@ def main() -> None:
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="durable result store to read/write "
                              "(default: REPRO_STORE env, else none)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="also write the JSON sweep report here")
     args = parser.parse_args()
     store = ResultStore(args.store) if args.store else store_from_env()
 
     t0 = time.time()
-    manifest = manifest_mod.RunManifest(label="prewarm_main_grid")
-    results = run_suite_parallel(POLICIES, benchmarks=BENCHMARK_NAMES,
-                                 jobs=args.jobs, verbose=True,
-                                 manifest=manifest, store=store)
-    path = manifest.write()
-    print(manifest_mod.render_summary(manifest.to_dict()))
-    print(f"manifest: {path}")
-    print(f"DONE {len(results)} benchmarks x {len(POLICIES)} policies "
-          f"in {time.time() - t0:.0f}s")
+    plan = compile_spec(load_spec(SPEC))
+    report = run_sweep(plan, store=store, jobs=args.jobs,
+                       report_path=args.report, verbose=True)
+    counts = report.counts
+    print(f"DONE {counts['total']} cells: {counts['store']} store, "
+          f"{counts['cache']} cache, {counts['executed']} executed, "
+          f"{counts['failed']} failed in {time.time() - t0:.0f}s")
+    raise SystemExit(1 if counts["failed"] else 0)
 
 
 if __name__ == "__main__":

@@ -53,10 +53,21 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
     "reporting_svg": frozenset({"utils"}),
     "analysis": frozenset({"utils"}),
     "bench": _MODEL_DEPS | frozenset({"backend", "prefetchers", "core", "simulator"}),
+    # the dashboard is pure presentation: the service embeds it, so it
+    # may depend on nothing that could close a cycle back to the
+    # service — only the metrics registry and utils
+    "dash": frozenset({"utils", "telemetry"}),
     # the serving layer wraps the simulator (store keys, runner
     # internals); nothing in the model or the simulator may import it,
     # so a simulation can never observe the service that scheduled it
-    "service": _MODEL_DEPS | frozenset({"backend", "prefetchers", "core", "simulator"}),
+    "service": _MODEL_DEPS | frozenset(
+        {"backend", "prefetchers", "core", "simulator", "dash"}
+    ),
+    # sweeps orchestrate the store, runner, and service client; the
+    # model/simulator must never know it is being swept
+    "sweeps": _MODEL_DEPS | frozenset(
+        {"backend", "prefetchers", "core", "simulator", "service"}
+    ),
     "experiments": frozenset(
         {
             "utils",
@@ -73,6 +84,7 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
             "reporting",
             "reporting_svg",
             "service",
+            "sweeps",
         }
     ),
 }

@@ -26,8 +26,14 @@ Commands:
   endpoint plus one shard of the content-addressed store);
 * ``submit`` — submit one cell to a running server (``--wait`` blocks
   for the result);
-* ``jobs`` — list/inspect/cancel server jobs, ``--drain`` it, or
-  ``--workers`` to list a coordinator's fleet;
+* ``jobs`` — list/inspect/cancel server jobs, ``--drain`` it,
+  ``--workers`` to list a coordinator's fleet, or ``--watch SECONDS``
+  to poll and redraw until Ctrl-C;
+* ``sweep`` — compile (``plan``), execute (``run``), or resolve
+  (``status``) a declarative TOML/JSON sweep spec against the result
+  store, a local pool, or a running server (see :mod:`repro.sweeps`);
+* ``dash`` — summarize (and ``--open`` in a browser) a running
+  server's live dashboard;
 * ``list`` — show the available benchmarks, policies, and figures.
 
 ``run``, ``suite``, and ``figure`` accept ``--store DIR`` (or the
@@ -302,7 +308,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--workers", action="store_true",
                         help="list the registered cluster workers "
                              "(coordinator mode)")
+    p_jobs.add_argument("--watch", type=float, default=None,
+                        metavar="SECONDS",
+                        help="poll and redraw every SECONDS until Ctrl-C")
     _endpoint_args(p_jobs)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="compile/run/inspect a declarative sweep spec "
+                      "(see repro.sweeps)")
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+    for verb, blurb in (("plan", "compile a spec and print its plan"),
+                        ("run", "execute the dirty cells of a plan"),
+                        ("status", "resolve a plan without executing")):
+        p_verb = sweep_sub.add_parser(verb, help=blurb)
+        p_verb.add_argument("spec", help="sweep spec file (.toml or .json)")
+        _store_arg(p_verb)
+        p_verb.add_argument("--state", default=None, metavar="PATH",
+                            help="resumable state file (default: keyed by "
+                                 "plan digest under the result cache; "
+                                 "'' disables)")
+        p_verb.add_argument("--format", dest="format", default="text",
+                            choices=("text", "json"))
+        if verb == "plan":
+            p_verb.add_argument("--cells", action="store_true",
+                                help="list every compiled cell")
+        if verb == "run":
+            _jobs_arg(p_verb)
+            p_verb.add_argument("--endpoint", default=None,
+                                metavar="HOST:PORT",
+                                help="submit dirty cells to a running "
+                                     "'repro serve' instead of a local pool")
+            p_verb.add_argument("--max-in-flight", type=int, default=None,
+                                help="bound on outstanding service "
+                                     "submissions (default 16)")
+            p_verb.add_argument("--retries", type=int, default=None,
+                                help="local-pool retry budget per cell "
+                                     "(default 2)")
+            p_verb.add_argument("--report", default=None, metavar="PATH",
+                                help="write the JSON sweep report here")
+            p_verb.add_argument("--no-stats", action="store_true",
+                                help="omit per-cell stats from the report")
+            p_verb.add_argument("--quiet", action="store_true",
+                                help="suppress per-cell progress lines")
+
+    p_dash = sub.add_parser(
+        "dash", help="show/open the live dashboard of a running server")
+    _endpoint_args(p_dash)
+    p_dash.add_argument("--open", action="store_true",
+                        help="open the dashboard in a web browser")
 
     sub.add_parser("list", help="show benchmarks, policies, figures")
     return parser
@@ -703,7 +756,7 @@ def _client(args: argparse.Namespace):
                          else DEFAULT_PORT)
 
 
-def _print_job(job: dict) -> None:
+def _job_line(job: dict) -> str:
     line = (f"  {job['id']}  {job.get('benchmark', '?'):16s} "
             f"{job.get('policy', '?'):18s} seed={job.get('seed', '?')} "
             f"prio={job.get('priority', 0)} {job['state']:9s} "
@@ -712,7 +765,11 @@ def _print_job(job: dict) -> None:
         line += f" [{job['source']}]"
     if job.get("error"):
         line += f"  {job['error']}"
-    print(line)
+    return line
+
+
+def _print_job(job: dict) -> None:
+    print(_job_line(job))
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -743,6 +800,37 @@ def cmd_submit(args: argparse.Namespace) -> int:
         return 1
 
 
+def _jobs_screen(health: dict, jobs: list) -> str:
+    """One full ``repro jobs`` listing as a string (for --watch redraw)."""
+    lines = [f"server {health['state']}: {health['queued']} queued, "
+             f"{health['running']} running, {health['jobs']} total"]
+    lines.extend(_job_line(job) for job in jobs)
+    return "\n".join(lines)
+
+
+def _watch_jobs(client, interval: float) -> int:
+    """``repro jobs --watch``: clear + redraw until Ctrl-C (exit 0)."""
+    import time as _time
+
+    from repro.service.client import ServiceError
+
+    interval = max(float(interval), 0.05)
+    try:
+        while True:
+            try:
+                screen = _jobs_screen(client.health(), client.jobs())
+            except (ServiceError, ConnectionError, OSError) as exc:
+                screen = f"server unreachable: {exc}"
+            # ANSI clear-screen + home, then the fresh listing
+            sys.stdout.write("\x1b[2J\x1b[H" + screen +
+                             f"\n\n(every {interval:g}s; Ctrl-C to exit)\n")
+            sys.stdout.flush()
+            _time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def cmd_jobs(args: argparse.Namespace) -> int:
     """``repro jobs``: list/inspect/cancel jobs, or drain the server."""
     import json
@@ -750,6 +838,8 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceError
 
     client = _client(args)
+    if args.watch is not None:
+        return _watch_jobs(client, args.watch)
     try:
         if args.workers:
             for worker in client.workers():
@@ -772,16 +862,154 @@ def cmd_jobs(args: argparse.Namespace) -> int:
             job = client.status(args.job)
             print(json.dumps(job, indent=1, sort_keys=True))
             return 0
-        jobs = client.jobs()
-        health = client.health()
-        print(f"server {health['state']}: {health['queued']} queued, "
-              f"{health['running']} running, {health['jobs']} total")
-        for job in jobs:
-            _print_job(job)
+        print(_jobs_screen(client.health(), client.jobs()))
         return 0
     except (ServiceError, ConnectionError, OSError) as exc:
         print(f"jobs failed: {exc}")
         return 1
+
+
+def _parse_endpoint(text: str):
+    """``HOST:PORT`` / ``:PORT`` / ``HOST`` → (host, port)."""
+    from repro.service.server import DEFAULT_PORT
+
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        return text or "127.0.0.1", DEFAULT_PORT
+    return host or "127.0.0.1", int(port)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep plan|run|status``: the declarative sweep engine."""
+    import json
+
+    from repro.simulator import cache as result_cache
+    from repro.sweeps import (
+        DEFAULT_MAX_IN_FLIGHT,
+        SweepSpecError,
+        compile_spec,
+        load_spec,
+        load_state,
+        run_sweep,
+        sweep_state_path,
+    )
+
+    try:
+        plan = compile_spec(load_spec(args.spec))
+    except SweepSpecError as exc:
+        print(f"sweep spec error: {exc}")
+        return 2
+    store = _resolve_store(args.store)
+    state_file = sweep_state_path(plan) if args.state is None else args.state
+
+    if args.sweep_command == "plan":
+        if args.format == "json":
+            doc = dict(plan.summary(),
+                       cells=[dict(c.payload(), key=c.key)
+                              for c in plan.cells])
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        summary = plan.summary()
+        print(f"sweep {summary['name']}: {summary['cells']} cells "
+              f"(plan {summary['plan_digest'][:12]})")
+        print(f"  benchmarks: {', '.join(summary['benchmarks'])}")
+        print(f"  policies:   {', '.join(summary['policies'])}")
+        print(f"  configs:    {', '.join(summary['configs'])}")
+        if args.cells:
+            for cell in plan.cells:
+                print(f"  {cell.describe():44s} {cell.key[:12]}")
+        return 0
+
+    if args.sweep_command == "status":
+        state = load_state(state_file, plan) if state_file else {
+            "done": {}, "failed": {}}
+        counts = {"store": 0, "cache": 0, "failed": 0, "pending": 0}
+        rows = []
+        for cell in plan.cells:
+            if store is not None and cell.key in store:
+                source = "store"
+            elif result_cache.load(cell.key) is not None:
+                source = "cache"
+            elif cell.key in state["failed"]:
+                source = "failed"
+            else:
+                source = "pending"
+            counts[source] += 1
+            rows.append(dict(cell.payload(), key=cell.key, source=source))
+        if args.format == "json":
+            print(json.dumps({"name": plan.name, "plan_digest": plan.digest,
+                              "counts": counts, "cells": rows},
+                             indent=2, sort_keys=True))
+        else:
+            warm = counts["store"] + counts["cache"]
+            print(f"sweep {plan.name}: {len(plan.cells)} cells, {warm} warm "
+                  f"({counts['store']} store / {counts['cache']} cache), "
+                  f"{counts['pending']} pending, {counts['failed']} failed")
+        return 0 if not counts["failed"] else 1
+
+    # sweep run
+    client = None
+    if args.endpoint:
+        from repro.service.client import ServiceClient
+
+        host, port = _parse_endpoint(args.endpoint)
+        client = ServiceClient(host=host, port=port)
+    report = run_sweep(
+        plan, store=store, client=client, jobs=args.jobs,
+        retries=args.retries if args.retries is not None else 2,
+        max_in_flight=(args.max_in_flight if args.max_in_flight is not None
+                       else DEFAULT_MAX_IN_FLIGHT),
+        state_path=args.state, report_path=args.report,
+        include_stats=not args.no_stats, verbose=not args.quiet)
+    counts = report.counts
+    if args.format == "json":
+        print(json.dumps(dict(counts, name=plan.name,
+                              plan_digest=plan.digest),
+                         indent=2, sort_keys=True))
+    else:
+        print(f"sweep {plan.name}: {counts['total']} cells — "
+              f"{counts['store']} store, {counts['cache']} cache, "
+              f"{counts['executed']} executed, {counts['failed']} failed")
+        if args.report:
+            print(f"report: {args.report}")
+    for key, error in list(report.failed.items())[:5]:
+        print(f"  failed {key[:12]}: {error}")
+    return 0 if not counts["failed"] else 1
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    """``repro dash``: summarize (and optionally open) the dashboard."""
+    from repro.service.client import ServiceError
+
+    client = _client(args)
+    url = f"http://{client.host}:{client.port}/dash"
+    try:
+        state = client.dash_state()
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"dash failed: {exc}")
+        return 1
+    server = state.get("server") or {}
+    jobs = state.get("jobs") or {}
+    print(f"{server.get('mode', 'server')} {server.get('state', '?')}: "
+          f"{jobs.get('queued', 0)} queued, {jobs.get('running', 0)} "
+          f"running, {jobs.get('total', 0)} jobs")
+    workers = state.get("workers")
+    if workers is not None:
+        alive = sum(1 for w in workers if w.get("state") == "alive")
+        print(f"workers: {alive}/{len(workers)} alive")
+    for sweep in state.get("sweeps") or []:
+        counts = sweep.get("counts") or {}
+        done = (counts.get("store", 0) + counts.get("cache", 0)
+                + counts.get("executed", 0))
+        print(f"sweep {sweep['name']} [{sweep['state']}]: "
+              f"{done}/{sweep.get('total', 0)} done, "
+              f"{counts.get('failed', 0)} failed")
+    print(f"dashboard: {url}")
+    if args.open:
+        import webbrowser
+
+        webbrowser.open(url)
+    return 0
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -810,6 +1038,8 @@ COMMANDS = {
     "worker": cmd_worker,
     "submit": cmd_submit,
     "jobs": cmd_jobs,
+    "sweep": cmd_sweep,
+    "dash": cmd_dash,
     "list": cmd_list,
 }
 

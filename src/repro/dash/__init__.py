@@ -1,0 +1,13 @@
+"""Live dashboard for the simulation service (stdlib-only).
+
+Presentation layer only: :mod:`repro.dash.page` is the static HTML
+document the server returns from ``GET /dash``, and
+:mod:`repro.dash.state` assembles the ``GET /dash/state`` JSON the page
+polls. The dependency points one way — the service imports this unit,
+never the reverse — which the import-layering lint rule enforces.
+"""
+
+from repro.dash.page import render_page
+from repro.dash.state import build_state, service_metrics, sweep_rows
+
+__all__ = ["build_state", "render_page", "service_metrics", "sweep_rows"]

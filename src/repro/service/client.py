@@ -77,6 +77,11 @@ class ServiceClient:
                 # response, not a broken connection
                 raise ServiceError(0, {"error": "malformed response: %r"
                                                 % (exc,)}) from exc
+            ctype = response.getheader("Content-Type") or ""
+            if ctype.startswith("text/html"):
+                # the dashboard page: a document, not a JSON payload
+                return response.status, {
+                    "__html__": raw.decode("utf-8", "replace")}
             try:
                 payload = json.loads(raw.decode("utf-8")) if raw else {}
             except (ValueError, UnicodeDecodeError) as exc:
@@ -159,6 +164,47 @@ class ServiceClient:
 
     def drain(self) -> Dict[str, object]:
         return self._checked("POST", "/drain")
+
+    # -- dashboard + sweep registry ------------------------------------
+    def dash_page(self) -> str:
+        """The dashboard HTML document (``GET /dash``)."""
+        return str(self._checked("GET", "/dash")["__html__"])
+
+    def dash_state(self) -> Dict[str, object]:
+        """Everything the dashboard renders, as one JSON document."""
+        return self._checked("GET", "/dash/state")
+
+    def sweeps(self) -> List[Dict[str, object]]:
+        """Registered sweep snapshots (running first, then newest)."""
+        return self._checked("GET", "/sweeps")["sweeps"]
+
+    def sweep(self, sweep_id: str) -> Dict[str, object]:
+        return self._checked("GET", "/sweeps/%s" % sweep_id)["sweep"]
+
+    def register_sweep(self, name: str, plan_digest: str = "",
+                       total: int = 0,
+                       benchmarks: Optional[List[str]] = None,
+                       policies: Optional[List[str]] = None
+                       ) -> Dict[str, object]:
+        """Register a sweep on the server's dashboard; returns it."""
+        body: Dict[str, object] = {"name": name, "plan_digest": plan_digest,
+                                   "total": total,
+                                   "benchmarks": benchmarks or [],
+                                   "policies": policies or []}
+        return self._checked("POST", "/sweeps", body)["sweep"]
+
+    def sweep_progress(self, sweep_id: str,
+                       counts: Optional[Dict[str, int]] = None,
+                       grid: Optional[Dict[str, object]] = None,
+                       state: str = "running") -> Dict[str, object]:
+        """Push executor progress into a registered sweep's snapshot."""
+        body: Dict[str, object] = {"state": state}
+        if counts is not None:
+            body["counts"] = counts
+        if grid is not None:
+            body["grid"] = grid
+        return self._checked("POST", "/sweeps/%s/progress" % sweep_id,
+                             body)["sweep"]
 
     def wait(self, job_id: str, timeout: Optional[float] = None,
              poll: float = 0.1) -> Dict[str, object]:

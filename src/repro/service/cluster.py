@@ -305,6 +305,10 @@ class Coordinator(SimulationServer):
     def _make_pool(self) -> Optional[ProcessPoolExecutor]:
         return None               # never simulates locally
 
+    def _dash_workers(self) -> Optional[List[Dict[str, object]]]:
+        """Dashboard hook: the registered fleet, stable name order."""
+        return [self.workers[w].summary() for w in sorted(self.workers)]
+
     async def start(self, host: str = "127.0.0.1",
                     port: int = DEFAULT_PORT) -> Tuple[str, int]:
         bound = await super().start(host, port)

@@ -25,6 +25,12 @@ Endpoints (all JSON)::
                              (best-effort, takes effect at the next
                              attempt boundary) job
     POST /drain              begin graceful drain (also sent by SIGTERM)
+    GET  /dash               the live dashboard page (text/html)
+    GET  /dash/state         everything the dashboard renders, one JSON doc
+    GET  /sweeps             registered sweep snapshots (dashboard order)
+    POST /sweeps             register a sweep (202; id in the body)
+    GET  /sweeps/<id>        one sweep's snapshot
+    POST /sweeps/<id>/progress  executor progress push (counts + grid)
 
 Scheduling: the backlog is a max-priority heap (higher ``priority``
 first, FIFO within a priority — the service-level echo of the paper's
@@ -48,6 +54,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Tuple
 
+from repro.dash import build_state, render_page, sweep_rows
 from repro.service.jobs import (
     Job,
     JobState,
@@ -72,6 +79,8 @@ DEFAULT_BACKOFF_S = 0.25
 
 _MAX_BODY = 1 << 20          # 1 MiB submission bodies are plenty
 _MAX_HEADERS = 64
+#: registered sweep snapshots kept in memory (oldest finished evicted)
+MAX_SWEEPS = 32
 
 
 class SimulationServer:
@@ -106,10 +115,12 @@ class SimulationServer:
         self._dispatcher: Optional[asyncio.Task] = None
         self.draining = False
         self._drained = asyncio.Event()
+        self.sweeps: Dict[str, Dict[str, object]] = {}  # id -> snapshot
         self.counters: Dict[str, int] = {
             "submitted": 0, "executed": 0, "store_hits": 0,
             "coalesced": 0, "retries": 0, "timeouts": 0,
             "worker_crashes": 0, "failed": 0, "cancelled": 0,
+            "sweeps_registered": 0,
         }
 
     # ------------------------------------------------------------------
@@ -124,6 +135,15 @@ class SimulationServer:
         """
         return ProcessPoolExecutor(max_workers=self.worker_count,
                                    initializer=pool_child_init)
+
+    def _dash_workers(self) -> Optional[List[Dict[str, object]]]:
+        """Dashboard hook: fleet summaries, or None on a plain server.
+
+        :class:`~repro.service.cluster.Coordinator` overrides this with
+        its registered-worker table; the dashboard shows the workers
+        panel exactly when this returns a list.
+        """
+        return None
 
     async def start(self, host: str = "127.0.0.1",
                     port: int = DEFAULT_PORT) -> Tuple[str, int]:
@@ -382,6 +402,90 @@ class SimulationServer:
         return 202, {"job": job.summary(), "note": "cancel requested; "
                      "takes effect at the attempt boundary"}
 
+    # ------------------------------------------------------------------
+    # sweep registry + dashboard
+    # ------------------------------------------------------------------
+    def _register_sweep(self, body: Dict[str, object]
+                        ) -> Tuple[int, Dict[str, object]]:
+        """Create a sweep snapshot for the dashboard; returns its id.
+
+        The registry is bookkeeping, not scheduling — jobs flow through
+        ``POST /jobs`` exactly as before; a sweep entry only aggregates
+        the executor's progress pushes for display. Capped at
+        :data:`MAX_SWEEPS` snapshots (terminal entries evicted first).
+        """
+        try:
+            total = int(body.get("total", 0))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return 400, {"error": "total must be an integer"}
+        if total < 0:
+            return 400, {"error": "total must be >= 0"}
+        sweep_id = uuid.uuid4().hex[:12]
+        snapshot: Dict[str, object] = {
+            "id": sweep_id,
+            "name": str(body.get("name") or "sweep"),
+            "plan_digest": str(body.get("plan_digest") or ""),
+            "total": total,
+            "benchmarks": [str(b) for b in body.get("benchmarks") or ()],
+            "policies": [str(p) for p in body.get("policies") or ()],
+            "state": "running",
+            "created": time.time(),
+            "updated": time.time(),
+            "counts": {},
+            "grid": {},
+        }
+        self.sweeps[sweep_id] = snapshot
+        self.counters["sweeps_registered"] += 1
+        while len(self.sweeps) > MAX_SWEEPS:
+            victims = sorted(
+                self.sweeps.values(),
+                key=lambda s: (s["state"] == "running", s["created"]))
+            del self.sweeps[str(victims[0]["id"])]
+        return 202, {"sweep": snapshot}
+
+    @staticmethod
+    def _update_sweep(snapshot: Dict[str, object],
+                      body: Dict[str, object]
+                      ) -> Tuple[int, Dict[str, object]]:
+        """Fold one executor progress push into a sweep snapshot."""
+        state = body.get("state", snapshot["state"])
+        if state not in ("running", "done", "failed"):
+            return 400, {"error": "bad sweep state %r" % (state,)}
+        counts = body.get("counts")
+        if counts is not None:
+            if not isinstance(counts, dict):
+                return 400, {"error": "counts must be an object"}
+            snapshot["counts"] = counts
+        grid = body.get("grid")
+        if grid is not None:
+            if not isinstance(grid, dict):
+                return 400, {"error": "grid must be an object"}
+            snapshot["grid"] = grid
+        snapshot["state"] = state
+        snapshot["updated"] = time.time()
+        return 200, {"sweep": snapshot}
+
+    async def _dash_state(self) -> Dict[str, object]:
+        """Assemble the ``GET /dash/state`` document (store off-loop)."""
+        store_info: Optional[Dict[str, object]] = None
+        if self.store is not None:
+            loop = asyncio.get_event_loop()
+            store_info = await loop.run_in_executor(None, self.store.info)
+        workers = self._dash_workers()
+        running = sum(1 for j in self.jobs.values()
+                      if j.state == JobState.RUNNING)
+        server = {
+            "mode": "coordinator" if workers is not None else "server",
+            "state": "draining" if self.draining else "running",
+            "workers": self.worker_count,
+            "queue_limit": self.queue_limit,
+        }
+        gauges = {"queued": self._queued_count(), "running": running,
+                  "jobs": len(self.jobs)}
+        return build_state(server, self.counters, gauges, self.sweeps,
+                           [self.jobs[j].summary() for j in self._order],
+                           workers=workers, store=store_info)
+
     async def _route(self, method: str, path: str,
                      body: Optional[Dict[str, object]]
                      ) -> Tuple[int, Dict[str, object]]:
@@ -412,6 +516,22 @@ class SimulationServer:
         if method == "POST" and parts == ["drain"]:
             self.request_drain()
             return 202, {"state": "draining"}
+        if method == "GET" and parts == ["dash"]:
+            return 200, {"__html__": render_page()}
+        if method == "GET" and parts == ["dash", "state"]:
+            return 200, await self._dash_state()
+        if method == "GET" and parts == ["sweeps"]:
+            return 200, {"sweeps": sweep_rows(self.sweeps)}
+        if method == "POST" and parts == ["sweeps"]:
+            return self._register_sweep(body or {})
+        if len(parts) >= 2 and parts[0] == "sweeps":
+            sweep = self.sweeps.get(parts[1])
+            if sweep is None:
+                return 404, {"error": "no such sweep %r" % parts[1]}
+            if method == "GET" and len(parts) == 2:
+                return 200, {"sweep": sweep}
+            if method == "POST" and parts[2:] == ["progress"]:
+                return self._update_sweep(sweep, body or {})
         if len(parts) >= 2 and parts[0] == "jobs":
             job = self.jobs.get(parts[1])
             if job is None:
@@ -504,12 +624,21 @@ async def _read_request(reader: asyncio.StreamReader
 
 def _write_response(writer: asyncio.StreamWriter, status: int,
                     payload: Dict[str, object]) -> None:
-    body = json.dumps(payload).encode("utf-8")
+    # a payload of {"__html__": text} is a page (the dashboard), not a
+    # JSON document; everything else on the control plane stays JSON
+    html = payload.get("__html__") if isinstance(payload, dict) else None
+    if isinstance(html, str):
+        body = html.encode("utf-8")
+        content_type = "text/html; charset=utf-8"
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     head = ("HTTP/1.1 %d %s\r\n"
-            "Content-Type: application/json\r\n"
+            "Content-Type: %s\r\n"
             "Content-Length: %d\r\n"
             "Connection: close\r\n\r\n"
-            % (status, _REASONS.get(status, "Unknown"), len(body)))
+            % (status, _REASONS.get(status, "Unknown"), content_type,
+               len(body)))
     writer.write(head.encode("latin-1") + body)
 
 

@@ -242,6 +242,13 @@ def _execute_cells(pending: Dict[str, tuple], jobs: int, retries: int,
     return results, attempts, errors
 
 
+#: Public entry point for the sweep executor's local mode — identical
+#: pool/retry semantics to the suite runner's internal call site, so a
+#: declarative sweep and an imperative suite execute cells byte-for-byte
+#: the same way.
+execute_cells = _execute_cells
+
+
 def run_suite_parallel(policies: Sequence[str],
                        benchmarks: Optional[Iterable[str]] = None,
                        instructions: int = DEFAULT_INSTRUCTIONS,

@@ -216,6 +216,64 @@ class TestLayering:
         assert rules_fired(findings) == ["layering-forbidden-import"]
         assert findings[0].path == "pkg/simulator/runner.py"
 
+    def test_sweeps_may_import_service_and_simulator(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/client.py": "C = 1\n",
+            "pkg/simulator/runner.py": "X = 2\n",
+            "pkg/sweeps/__init__.py": "",
+            "pkg/sweeps/executor.py": (
+                "from pkg.service.client import C\n"
+                "from pkg.simulator.runner import X\n"
+            ),
+        }, [LayeringRule()])
+        assert findings == []
+
+    def test_simulator_must_not_import_sweeps(self, tmp_path):
+        # the model/simulator must never know it is being swept
+        findings = lint(tmp_path, {
+            "pkg/sweeps/__init__.py": "",
+            "pkg/sweeps/plan.py": "P = 1\n",
+            "pkg/simulator/runner.py": "from pkg.sweeps.plan import P\n",
+        }, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        assert findings[0].path == "pkg/simulator/runner.py"
+        assert "sweeps" in findings[0].message
+
+    def test_core_must_not_import_dash(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/dash/__init__.py": "",
+            "pkg/dash/page.py": "H = 1\n",
+            "pkg/core/engine.py": "from pkg.dash.page import H\n",
+        }, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        assert findings[0].path == "pkg/core/engine.py"
+
+    def test_service_may_import_dash_not_vice_versa(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/dash/__init__.py": "",
+            "pkg/dash/state.py": "B = 1\n",
+            "pkg/service/__init__.py": "",
+            "pkg/service/server.py": "from pkg.dash.state import B\n",
+        }, [LayeringRule()])
+        assert findings == []
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/server.py": "S = 1\n",
+            "pkg/dash/__init__.py": "",
+            "pkg/dash/state.py": "from pkg.service.server import S\n",
+        }, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        assert findings[0].path == "pkg/dash/state.py"
+
+    def test_experiments_may_import_sweeps(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/sweeps/__init__.py": "",
+            "pkg/sweeps/executor.py": "R = 1\n",
+            "pkg/experiments/driver.py": "from pkg.sweeps.executor import R\n",
+        }, [LayeringRule()])
+        assert findings == []
+
 
 class TestHotPath:
     def test_per_event_class_without_slots(self, tmp_path):

@@ -1,0 +1,319 @@
+"""Sweep spec parsing/validation and plan compilation.
+
+The digest goldens at the bottom pin the spec → plan contract: the
+canonical axis expansion order, the shape-row encoding, and the digest
+seed tuple. They must only change with a deliberate schema bump —
+a failing golden means previously-written sweep state files and
+dashboard registrations silently stopped matching their specs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.store import ResultStore
+from repro.sweeps import (
+    AXIS_NAMES,
+    SweepSpecError,
+    compile_spec,
+    load_spec,
+    parse_spec,
+)
+from repro.workloads import BENCHMARK_NAMES
+
+# A small but representative spec: 2 benchmarks x 2 policies x 2 config
+# variants with one excluded combination -> 6 cells. Used all over this
+# file and pinned by the digest goldens.
+GOLDEN_SPEC = {
+    "name": "golden",
+    "axes": {
+        "benchmark": ["noop", "tatp"],
+        "policy": ["baseline", "pdip_44"],
+        "config": [
+            {"label": "small", "btb_entries": 2048},
+            {"label": "default"},
+        ],
+    },
+    "defaults": {"instructions": 20000, "warmup": 4000},
+    "exclude": [{"benchmark": "tatp", "config": "small"}],
+}
+
+
+class TestParse:
+    def test_minimal_grid(self):
+        spec = parse_spec({"axes": {"benchmark": ["noop"],
+                                    "policy": ["baseline"]}})
+        assert spec.name == "sweep"
+        assert spec.benchmarks == ("noop",)
+        assert spec.policies == ("baseline",)
+        assert spec.seeds == (1,)
+        assert spec.instructions == (400_000,)
+        assert spec.warmups == (120_000,)
+        assert [c.label for c in spec.configs] == ["default"]
+        assert spec.grid_size == 1
+
+    def test_benchmark_all_expands_registry(self):
+        spec = parse_spec({"axes": {"benchmark": "all",
+                                    "policy": ["baseline"]}})
+        assert spec.benchmarks == tuple(BENCHMARK_NAMES)
+
+    def test_scalar_axis_values_are_listified(self):
+        spec = parse_spec({"axes": {"benchmark": "noop", "policy": "baseline",
+                                    "seed": 3}})
+        assert spec.benchmarks == ("noop",)
+        assert spec.seeds == (3,)
+
+    def test_defaults_override_budgets(self):
+        spec = parse_spec(GOLDEN_SPEC)
+        assert spec.instructions == (20000,)
+        assert spec.warmups == (4000,)
+
+    def test_unknown_benchmark_rejected_with_path(self):
+        with pytest.raises(SweepSpecError, match=r"axes\.benchmark\[1\]"):
+            parse_spec({"axes": {"benchmark": ["noop", "nope"],
+                                 "policy": ["baseline"]}})
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown policy"):
+            parse_spec({"axes": {"benchmark": ["noop"],
+                                 "policy": ["not_a_policy"]}})
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown top-level"):
+            parse_spec({"axes": {"benchmark": ["noop"],
+                                 "policy": ["baseline"]}, "extra": 1})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown axes"):
+            parse_spec({"axes": {"benchmark": ["noop"],
+                                 "policy": ["baseline"], "frequency": [1]}})
+
+    def test_grid_needs_both_benchmark_and_policy(self):
+        with pytest.raises(SweepSpecError, match="both benchmark and policy"):
+            parse_spec({"axes": {"benchmark": ["noop"]}})
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SweepSpecError, match="no cells"):
+            parse_spec({})
+
+    def test_invalid_config_override_rejected(self):
+        with pytest.raises(SweepSpecError, match="invalid config overrides"):
+            parse_spec({"axes": {"benchmark": ["noop"],
+                                 "policy": ["baseline"],
+                                 "config": [{"no_such_field": 1}]}})
+
+    def test_duplicate_config_label_rejected(self):
+        with pytest.raises(SweepSpecError, match="duplicate config label"):
+            parse_spec({"axes": {"benchmark": ["noop"],
+                                 "policy": ["baseline"],
+                                 "config": [{"label": "a", "btb_entries": 1024},
+                                            {"label": "a", "btb_entries": 2048}]}})
+
+    def test_auto_config_label_is_deterministic(self):
+        spec = parse_spec({"axes": {"benchmark": ["noop"],
+                                    "policy": ["baseline"],
+                                    "config": [{"btb_entries": 4096}]}})
+        assert spec.configs[0].label == "btb_entries-4096"
+
+    def test_bad_filter_key_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown filter key"):
+            parse_spec({"axes": {"benchmark": ["noop"], "policy": ["baseline"]},
+                        "exclude": [{"bench": "noop"}]})
+
+    def test_config_dot_field_filter_key_allowed(self):
+        spec = parse_spec({"axes": {"benchmark": ["noop"],
+                                    "policy": ["baseline"]},
+                           "exclude": [{"config.btb_entries": 2048}]})
+        assert spec.exclude == ({"config.btb_entries": 2048},)
+
+    def test_derived_cell_needs_benchmark_and_policy(self):
+        with pytest.raises(SweepSpecError, match="explicit benchmark and policy"):
+            parse_spec({"cells": [{"benchmark": "noop"}]})
+
+    def test_derived_cells_fill_from_defaults(self):
+        spec = parse_spec({"defaults": {"instructions": 5000, "warmup": 100},
+                           "cells": [{"benchmark": "noop",
+                                      "policy": "pdip_44"}]})
+        (cell,) = spec.cells
+        assert cell["instructions"] == 5000
+        assert cell["warmup"] == 100
+        assert cell["seed"] == 1
+        assert cell["config"].label == "default"
+
+    def test_non_integer_budget_rejected(self):
+        with pytest.raises(SweepSpecError, match="expected an integer"):
+            parse_spec({"axes": {"benchmark": ["noop"], "policy": ["baseline"],
+                                 "instructions": ["lots"]}})
+
+
+class TestLoad:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "golden.json"
+        path.write_text(json.dumps(GOLDEN_SPEC))
+        spec = load_spec(path)
+        assert spec.name == "golden"
+        assert compile_spec(spec).digest == GOLDEN_PLAN_DIGEST
+
+    def test_name_falls_back_to_file_stem(self, tmp_path):
+        path = tmp_path / "mygrid.json"
+        path.write_text(json.dumps({"axes": {"benchmark": ["noop"],
+                                             "policy": ["baseline"]}}))
+        assert load_spec(path).name == "mygrid"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SweepSpecError, match="not found"):
+            load_spec(tmp_path / "absent.toml")
+
+    def test_bad_suffix(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("x")
+        with pytest.raises(SweepSpecError, match="unsupported spec suffix"):
+            load_spec(path)
+
+    def test_invalid_json_names_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(SweepSpecError, match="broken.json"):
+            load_spec(path)
+
+    def test_toml_spec(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "grid.toml"
+        path.write_text('[axes]\nbenchmark = ["noop"]\n'
+                        'policy = ["baseline"]\n')
+        spec = load_spec(path)
+        assert spec.name == "grid"
+        assert spec.benchmarks == ("noop",)
+
+
+class TestCompile:
+    def test_expansion_order_is_canonical(self):
+        assert AXIS_NAMES == ("benchmark", "policy", "config", "seed",
+                              "instructions", "warmup")
+        plan = compile_spec(parse_spec(GOLDEN_SPEC))
+        # benchmark outermost, then policy, then config; tatp/small excluded
+        assert [c.describe() for c in plan.cells] == [
+            "noop/baseline[small] seed=1",
+            "noop/baseline seed=1",
+            "noop/pdip_44[small] seed=1",
+            "noop/pdip_44 seed=1",
+            "tatp/baseline seed=1",
+            "tatp/pdip_44 seed=1",
+        ]
+
+    def test_cell_keys_match_store_identity(self):
+        plan = compile_spec(parse_spec(GOLDEN_SPEC))
+        default_cells = [c for c in plan.cells if c.config is None]
+        for cell in default_cells:
+            assert cell.key == ResultStore.cell_key(
+                cell.benchmark, cell.policy, cell.instructions,
+                cell.warmup, seed=cell.seed)
+
+    def test_config_override_changes_key(self):
+        plan = compile_spec(parse_spec(GOLDEN_SPEC))
+        by_label = {}
+        for cell in plan.cells:
+            by_label.setdefault(cell.config_label, cell)
+        assert by_label["small"].key != by_label["default"].key
+
+    def test_include_filter_keeps_only_matches(self):
+        data = dict(GOLDEN_SPEC)
+        data["include"] = [{"policy": "pdip_44"}]
+        plan = compile_spec(parse_spec(data))
+        assert {c.policy for c in plan.cells} == {"pdip_44"}
+
+    def test_list_filter_value_is_any_of(self):
+        data = dict(GOLDEN_SPEC)
+        data["include"] = [{"benchmark": ["noop"],
+                            "config": ["small", "default"]}]
+        plan = compile_spec(parse_spec(data))
+        assert {c.benchmark for c in plan.cells} == {"noop"}
+        assert len(plan.cells) == 4
+
+    def test_config_field_filter(self):
+        data = dict(GOLDEN_SPEC)
+        data["exclude"] = [{"config.btb_entries": 2048}]
+        plan = compile_spec(parse_spec(data))
+        assert {c.config_label for c in plan.cells} == {"default"}
+
+    def test_duplicate_cells_dedupe_by_key(self):
+        data = {"axes": {"benchmark": ["noop"], "policy": ["baseline"]},
+                "cells": [{"benchmark": "noop", "policy": "baseline"}]}
+        plan = compile_spec(parse_spec(data))
+        assert len(plan.cells) == 1
+
+    def test_derived_cells_append_after_grid(self):
+        data = {"axes": {"benchmark": ["noop"], "policy": ["baseline"]},
+                "cells": [{"benchmark": "tatp", "policy": "pdip_44",
+                           "instructions": 9000, "warmup": 500}]}
+        plan = compile_spec(parse_spec(data))
+        assert [c.benchmark for c in plan.cells] == ["noop", "tatp"]
+        assert plan.cells[-1].instructions == 9000
+
+    def test_plan_summary_shape(self):
+        plan = compile_spec(parse_spec(GOLDEN_SPEC))
+        summary = plan.summary()
+        assert summary["cells"] == 6
+        assert summary["benchmarks"] == ["noop", "tatp"]
+        assert summary["policies"] == ["baseline", "pdip_44"]
+        assert summary["configs"] == ["small", "default"]
+        assert summary["plan_digest"] == plan.digest
+
+    def test_payload_round_trips_axes(self):
+        plan = compile_spec(parse_spec(GOLDEN_SPEC))
+        payload = plan.cells[0].payload()
+        assert payload == {"benchmark": "noop", "policy": "baseline",
+                           "seed": 1, "instructions": 20000, "warmup": 4000,
+                           "config": {"btb_entries": 2048},
+                           "config_label": "small"}
+        assert "key" not in payload
+
+
+# ----------------------------------------------------------------------
+# digest goldens
+# ----------------------------------------------------------------------
+GOLDEN_PLAN_DIGEST = "98a948da644b900cf24386cd0deab79b8cbba45a"
+EXAMPLE_DIGESTS = {
+    "quick": "ea7a75ad4516ce3f34e029d0afa1c40485271fa6",
+    "main_grid": "104d343371e1fe2b8ef9fcb53852811a7dc7226d",
+    "btb_sweep": "aac42178983adbf337f68f72a3106d4fe33a21bb",
+}
+EXAMPLE_CELLS = {"quick": 4, "main_grid": 208, "btb_sweep": 50}
+
+
+class TestDigestGoldens:
+    def test_golden_spec_digest_is_stable(self):
+        plan = compile_spec(parse_spec(GOLDEN_SPEC))
+        assert len(plan.cells) == 6
+        assert plan.digest == GOLDEN_PLAN_DIGEST
+
+    def test_digest_ignores_run_key_inputs(self):
+        # The plan digest hashes the sweep *shape*, not run keys: two
+        # compilations of the same spec agree even though cell keys are
+        # recomputed each time.
+        a = compile_spec(parse_spec(GOLDEN_SPEC))
+        b = compile_spec(parse_spec(json.loads(json.dumps(GOLDEN_SPEC))))
+        assert a.digest == b.digest
+        assert [c.key for c in a.cells] == [c.key for c in b.cells]
+
+    def test_digest_changes_with_any_axis_edit(self):
+        base = compile_spec(parse_spec(GOLDEN_SPEC)).digest
+        edited = json.loads(json.dumps(GOLDEN_SPEC))
+        edited["defaults"]["instructions"] = 20001
+        assert compile_spec(parse_spec(edited)).digest != base
+        renamed = json.loads(json.dumps(GOLDEN_SPEC))
+        renamed["name"] = "golden2"
+        assert compile_spec(parse_spec(renamed)).digest != base
+
+    @pytest.mark.parametrize("name", sorted(EXAMPLE_DIGESTS))
+    def test_example_specs_compile_to_pinned_plans(self, name):
+        pytest.importorskip("tomllib")
+        from pathlib import Path
+
+        spec_path = (Path(__file__).resolve().parents[1]
+                     / "examples" / "sweeps" / ("%s.toml" % name))
+        plan = compile_spec(load_spec(spec_path))
+        assert len(plan.cells) == EXAMPLE_CELLS[name]
+        assert plan.digest == EXAMPLE_DIGESTS[name]
