@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Regenerate the bundled external traces under ``src/repro/traces/data/``.
+
+The bundled benchmarks exist to exercise control-flow structure the
+synthetic profile generator cannot emit:
+
+* ``trace-phase`` — three distinct program phases, each confined to its
+  own code region, with hard transitions; tests the downsampler's
+  phase-head preservation and PDIP's reaction to working-set turnover.
+* ``trace-coldburst`` — a hot kernel loop periodically interrupted by
+  bursts into fresh, never-revisited init-style code (cold-line storms).
+* ``trace-fanout`` — a dispatch loop over a megamorphic indirect call
+  site with Zipf-skewed targets (irregular fan-out beyond the
+  generator's per-site fanout cap).
+
+Each program is a deterministic mini-interpreter over a synthetic
+address space, so the emitted branch records are flow-consistent by
+construction (every record's pc lies in the block entered by the
+previous record's flow-out).  Output is schema-v1 JSONL, gzipped with
+``mtime=0`` so regeneration is byte-stable.  The script re-ingests what
+it wrote with default parameters and rewrites ``bundled.json`` — the
+pinned-digest manifest the trace registry loads.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/make_bundled_traces.py
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.traces.ingest import ingest_path  # noqa: E402
+from repro.utils import derive_rng  # noqa: E402
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "..",
+                        "src", "repro", "traces", "data")
+
+ISIZE = 4
+
+
+class Program:
+    """A tiny flow-consistent program: blocks, a walker, a record log."""
+
+    def __init__(self):
+        self.blocks = {}  # start addr -> (n_instr, terminator dict)
+        self.records = []
+        self.stack = []
+
+    def add_function(self, base, body):
+        """Lay out consecutive blocks; ``body`` is [(n_instr, term), ...].
+
+        ``term`` decides the control transfer when the block executes;
+        see ``step``.  Returns the list of block start addresses.
+        """
+        addrs = []
+        addr = base
+        for n, term in body:
+            self.blocks[addr] = (n, term)
+            addrs.append(addr)
+            addr += n * ISIZE
+        return addrs
+
+    def step(self, cur, rng):
+        """Execute the block at ``cur``; returns the next block address."""
+        n, term = self.blocks[cur]
+        pc = cur + (n - 1) * ISIZE
+        kind = term["kind"]
+        if kind == "cond":
+            taken = rng.random() < term["bias"]
+            target = term["target"] if taken else 0
+        elif kind == "return":
+            taken, target = True, self.stack.pop()
+        elif kind in ("call", "indirect_call"):
+            choices = term["targets"]
+            weights = term.get("weights")
+            if weights:
+                target = rng.choices(choices, weights=weights)[0]
+            else:
+                target = choices[rng.randrange(len(choices))]
+            taken = True
+            self.stack.append(pc + ISIZE)
+        elif kind == "indirect":
+            target = term["targets"][rng.randrange(len(term["targets"]))]
+            taken = True
+        else:  # direct
+            taken, target = True, term["target"]
+        rec = {"pc": pc, "size": ISIZE, "taken": taken}
+        if taken:
+            rec["target"] = target
+        if kind != "cond" or rng.random() < 0.9:  # drop some hints: they
+            rec["kind"] = kind                    # are optional in the wild
+        self.records.append(rec)
+        return target if taken else pc + ISIZE
+
+    def run(self, entry, steps, rng):
+        cur = entry
+        for _ in range(steps):
+            cur = self.step(cur, rng)
+        return cur
+
+
+def leaf(base, nblocks, rng, loop_bias=0.45):
+    """A callable function: a few cond blocks ending in a return."""
+    body = []
+    addr = base
+    starts = []
+    for i in range(nblocks):
+        n = rng.randrange(4, 17)
+        starts.append(addr)
+        addr += n * ISIZE
+        body.append([n, None])
+    for i, entry in enumerate(body[:-1]):
+        back = starts[max(0, i - rng.randrange(1, 3))]
+        entry[1] = {"kind": "cond", "bias": loop_bias if back < starts[i]
+                    else 0.2, "target": back}
+    body[-1][1] = {"kind": "return"}
+    return [(n, t) for n, t in body]
+
+
+def make_phase():
+    """Three phases, each a driver loop over its own function set."""
+    rng = derive_rng(2024, "bundled-phase")
+    prog = Program()
+    phase_entries = []
+    region = 0x40_0000
+    for phase in range(3):
+        fns = []
+        for f in range(160):
+            base = region + phase * 0x10_0000 + f * 0x1000
+            fns.append(prog.add_function(base, leaf(base, 8, rng))[0])
+        drv_base = region + phase * 0x10_0000 + 0x8_0000
+        driver = [
+            (4, {"kind": "indirect_call", "targets": fns,
+                 "weights": [1.0 / (i + 1) ** 0.4 for i in
+                             range(len(fns))]}),
+            # ~0.3% exit per iteration: a phase dwells for a few
+            # thousand records, so the full walk covers all three phases
+            (3, {"kind": "cond", "bias": 0.997, "target": drv_base}),
+        ]
+        # the not-taken exit of the loop branch falls through to a
+        # direct jump into the next phase's driver (patched below)
+        driver.append((2, {"kind": "direct", "target": 0}))
+        phase_entries.append(prog.add_function(drv_base, driver))
+    for phase in range(3):
+        nxt = phase_entries[(phase + 1) % 3][0]
+        jump_addr = phase_entries[phase][2]
+        n, term = prog.blocks[jump_addr]
+        term["target"] = nxt
+    prog.run(phase_entries[0][0], 34_000, rng)
+    return prog.records
+
+
+def make_coldburst():
+    """A hot kernel with periodic one-shot cold-code bursts."""
+    rng = derive_rng(2024, "bundled-coldburst")
+    prog = Program()
+    hot = []
+    for f in range(96):
+        base = 0x50_0000 + f * 0x1000
+        hot.append(prog.add_function(base, leaf(base, 6, rng))[0])
+    cold = []
+    for f in range(160):
+        base = 0x90_0000 + f * 0x2000
+        cold.append(prog.add_function(base, leaf(base, 6, rng,
+                                                 loop_bias=0.3))[0])
+    kernel_base = 0x58_0000
+    kernel = prog.add_function(kernel_base, [
+        (5, {"kind": "call", "targets": hot}),
+        (4, {"kind": "cond", "bias": 0.9, "target": kernel_base}),
+        (2, {"kind": "direct", "target": kernel_base}),
+    ])
+    cur = kernel[0]
+    burst = 0
+    for chunk in range(80):
+        cur = prog.run(cur, 280, rng)
+        if chunk % 4 == 3 and burst + 3 <= len(cold):
+            # burst: a chain of fresh cold functions (each return pops
+            # into the next), then control resumes in the hot kernel
+            chain = cold[burst:burst + 3]
+            burst += 3
+            prog.stack.append(kernel[0])
+            for entry in reversed(chain[1:]):
+                prog.stack.append(entry)
+            cur = prog.run(chain[0], 60, rng)
+    return prog.records
+
+
+def make_fanout():
+    """A dispatch loop over a megamorphic, Zipf-skewed call site."""
+    rng = derive_rng(2024, "bundled-fanout")
+    prog = Program()
+    handlers = []
+    for f in range(128):
+        base = 0x70_0000 + f * 0x1800
+        handlers.append(prog.add_function(base, leaf(base, 8, rng))[0])
+    disp_base = 0x7F_0000
+    weights = [1.0 / (i + 1) ** 0.5 for i in range(len(handlers))]
+    disp = prog.add_function(disp_base, [
+        (6, {"kind": "indirect_call", "targets": handlers,
+             "weights": weights}),
+        (3, {"kind": "cond", "bias": 0.98, "target": disp_base}),
+        (2, {"kind": "direct", "target": disp_base}),
+    ])
+    prog.run(disp[0], 26_000, rng)
+    return prog.records
+
+
+def write_trace(name, records):
+    path = os.path.join(DATA_DIR, name + ".jsonl.gz")
+    buf = io.StringIO()
+    buf.write(json.dumps({"schema": "repro-xtrace", "version": 1,
+                          "isize": ISIZE, "source": name},
+                         sort_keys=True) + "\n")
+    for rec in records:
+        buf.write(json.dumps(rec, sort_keys=True) + "\n")
+    data = buf.getvalue().encode("utf-8")
+    with open(path, "wb") as fh:
+        with gzip.GzipFile(fileobj=fh, mode="wb", mtime=0) as gz:
+            gz.write(data)
+    return path
+
+
+BUNDLES = {
+    "trace-phase": (make_phase,
+                    "bundled trace: three-phase working-set turnover",
+                    {"backend_stall_prob": 0.12, "data_access_prob": 0.06,
+                     "data_lines": 2600}),
+    "trace-coldburst": (make_coldburst,
+                        "bundled trace: hot kernel with cold-code bursts",
+                        {"backend_stall_prob": 0.10, "data_access_prob": 0.04,
+                         "data_lines": 1800}),
+    "trace-fanout": (make_fanout,
+                     "bundled trace: megamorphic Zipf-skewed dispatch",
+                     {"backend_stall_prob": 0.13, "data_access_prob": 0.07,
+                      "data_lines": 3000}),
+}
+
+
+def main():
+    os.makedirs(DATA_DIR, exist_ok=True)
+    manifest = {}
+    for name, (make, description, overrides) in sorted(BUNDLES.items()):
+        records = make()
+        path = write_trace(name, records)
+        report = ingest_path(path)  # default budget/window/seed
+        manifest[name] = {
+            "file": name + ".jsonl.gz",
+            "digest": report.digest,
+            "events": report.events,
+            "instructions": report.instructions,
+            "description": description,
+            "profile": overrides,
+        }
+        print("%-16s records=%-6d kept_events=%-6d instructions=%-6d %s"
+              % (name, len(records), report.events, report.instructions,
+                 report.digest))
+    with open(os.path.join(DATA_DIR, "bundled.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,13 @@ is further narrowed by the ``telemetry-noop-import`` rule (only
 ``telemetry.handle``, the zero-overhead no-op side — see
 :mod:`repro.analysis.rules.telemetry_imports`).
 
+``traces`` (external-trace ingestion) may build on ``workloads`` and
+archive blobs through ``service``, but nothing in the model or the
+simulator may import it: ingested benchmarks reach the simulator only
+through the provider hook in ``workloads.profiles``, which loads
+``repro.traces.registry`` by dotted name at lookup time — deliberately
+leaving no static import edge for this rule to see.
+
 Units absent from the table (currently only ``cli`` and the root
 package's ``__init__``/``__main__`` facade) are unconstrained. Adding a
 new subpackage should come with a row here.
@@ -68,6 +75,12 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
     "sweeps": _MODEL_DEPS | frozenset(
         {"backend", "prefetchers", "core", "simulator", "service"}
     ),
+    # trace ingestion builds workloads (layouts + replay streams) and
+    # archives blobs in the service store; the model and the simulator
+    # must never import it — they see only the CodeLayout/walker the
+    # registry hands back through workloads.profiles' provider hook
+    # (loaded by dotted name precisely so no static edge exists here)
+    "traces": frozenset({"utils", "telemetry", "workloads", "service"}),
     "experiments": frozenset(
         {
             "utils",

@@ -49,7 +49,7 @@ from repro.simulator.policies import build_machine, get_policy
 from repro.simulator.probe import TimelineProbe
 from repro.utils import geomean
 from repro.workloads.generator import generate_layout
-from repro.workloads.profiles import get_profile
+from repro.workloads.profiles import external_benchmark, get_profile
 
 #: default output document, at the repo root (next to the run manifests)
 DEFAULT_OUT = "BENCH_runner.json"
@@ -122,6 +122,10 @@ DEFAULT_CELLS: List[BenchCell] = [
     _cell("tatp-pdip44-long", "tatp", "pdip_44", 150_000, 30_000),
     _cell("dotty-baseline-long", "dotty", "baseline", 150_000, 30_000),
     _cell("tatp-pdip44-probe", "tatp", "pdip_44", 40_000, 8_000, probe=True),
+    # ingested-trace workloads: replayer-driven frontend (no PathWalker)
+    _cell("trphase-pdip44-short", "trace-phase", "pdip_44", 40_000, 8_000),
+    _cell("trcold-baseline-short", "trace-coldburst", "baseline",
+          40_000, 8_000),
 ]
 
 #: CI smoke subset (~15 s of simulation on a laptop-class host)
@@ -175,7 +179,11 @@ def run_cell(cell: BenchCell, repeats: int = 2) -> Dict[str, object]:
     because the wall time covers them too.
     """
     profile = get_profile(cell.benchmark)
-    layout = generate_layout(profile, seed=cell.seed)
+    ext = external_benchmark(cell.benchmark)
+    if ext is not None:
+        layout = ext.layout_builder(cell.seed)
+    else:
+        layout = generate_layout(profile, seed=cell.seed)
     best_wall = None
     cycles = 0
     ipc = 0.0

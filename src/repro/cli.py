@@ -10,9 +10,16 @@ Commands:
   ``BENCH_runner.json`` (see :mod:`repro.bench`);
 * ``manifest`` — print the summary of a suite run's JSON manifest;
 * ``workload`` — characterize a benchmark's instruction stream;
-* ``trace`` — record/replay workload traces, or (``trace run``) simulate
-  with the telemetry recorder attached and export Chrome-trace JSON
-  (Perfetto-loadable) plus JSONL (see :mod:`repro.telemetry`);
+* ``trace`` — record/replay **this simulator's own** block-stream dumps
+  of a benchmark (an internal debugging format), or (``trace run``)
+  simulate with the telemetry recorder attached and export Chrome-trace
+  JSON (Perfetto-loadable) plus JSONL (see :mod:`repro.telemetry`).
+  To bring a trace captured *outside* this simulator, see ``ingest``;
+* ``ingest`` — import an **external** basic-block trace (schema-v1
+  JSONL, ChampSim branch records, or ``pc,target,taken`` CSV) as a
+  content-addressed blob, optionally registering it as a first-class
+  benchmark name usable in ``run``/``suite``/``sweep``/``bench``
+  (see :mod:`repro.traces`);
 * ``diff`` — compare two run dumps / manifests / traces and name the
   first diverging counter or event (exit 0 match, 1 diverged,
   2 incomparable);
@@ -58,7 +65,12 @@ from repro.simulator.runner import (
     run_suite_parallel,
 )
 from repro.utils import geomean
-from repro.workloads.profiles import BENCHMARK_NAMES, get_profile
+from repro.workloads.profiles import (
+    BENCHMARK_NAMES,
+    external_benchmark_names,
+    get_profile,
+    known_benchmark_names,
+)
 
 FIGURES = {
     "fig01": "repro.experiments.fig01_topdown",
@@ -87,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="simulate one benchmark x policy")
-    p_run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p_run.add_argument("benchmark", choices=known_benchmark_names())
     p_run.add_argument("policy", choices=sorted(POLICIES))
     _budget_args(p_run)
     _store_arg(p_run)
@@ -146,19 +158,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also list the per-cell records")
 
     p_wl = sub.add_parser("workload", help="characterize a benchmark")
-    p_wl.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p_wl.add_argument("benchmark", choices=known_benchmark_names())
     p_wl.add_argument("--instructions", type=int, default=200_000)
     p_wl.add_argument("--seed", type=int, default=1)
 
-    p_tr = sub.add_parser("trace", help="record or replay a trace")
+    p_tr = sub.add_parser(
+        "trace",
+        help="record/replay this simulator's own block-stream dumps "
+             "(internal format; for external traces see 'repro ingest')")
     tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)
     t_rec = tr_sub.add_parser("record")
-    t_rec.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    t_rec.add_argument("benchmark", choices=known_benchmark_names())
     t_rec.add_argument("path", help="output trace file")
     t_rec.add_argument("--blocks", type=int, default=50_000)
     t_rec.add_argument("--seed", type=int, default=1)
     t_rep = tr_sub.add_parser("replay")
-    t_rep.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    t_rep.add_argument("benchmark", choices=known_benchmark_names())
     t_rep.add_argument("path", help="trace file to replay")
     t_rep.add_argument("--policy", default="baseline",
                        choices=sorted(POLICIES))
@@ -168,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     t_run = tr_sub.add_parser(
         "run", help="simulate with the telemetry recorder attached and "
                     "export Chrome-trace + JSONL traces")
-    t_run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    t_run.add_argument("benchmark", choices=known_benchmark_names())
     t_run.add_argument("--policy", default="pdip_44",
                        choices=sorted(POLICIES))
     t_run.add_argument("--instructions", type=int,
@@ -185,6 +200,34 @@ def build_parser() -> argparse.ArgumentParser:
     t_run.add_argument("--sample-every", type=int, default=None,
                        help="keep every Nth event (default: "
                             "REPRO_TELEMETRY_SAMPLE env, else 1)")
+
+    from repro.traces.convert import FORMATS
+    from repro.traces.downsample import DEFAULT_BUDGET, DEFAULT_WINDOW
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="import an external basic-block trace as a content-addressed "
+             "workload (unlike 'repro trace', which handles this "
+             "simulator's own dumps)")
+    p_ing.add_argument("file", help="trace file (.jsonl/.champsim/.csv, "
+                                    "optionally gzipped)")
+    p_ing.add_argument("--format", dest="format", default="auto",
+                       choices=FORMATS,
+                       help="input format (default: sniffed from the "
+                            "first line)")
+    p_ing.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                       help="downsample to about this many instructions "
+                            "(default %d)" % DEFAULT_BUDGET)
+    p_ing.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                       help="downsampler window in events (default %d)"
+                            % DEFAULT_WINDOW)
+    p_ing.add_argument("--seed", type=int, default=0,
+                       help="downsampler fill-selection seed (default 0)")
+    p_ing.add_argument("--register", default=None, metavar="NAME",
+                       help="also register the trace as benchmark NAME "
+                            "(persists in the user trace registry; "
+                            "usable in run/suite/sweep/bench/submit)")
+    _store_arg(p_ing)
 
     p_diff = sub.add_parser(
         "diff", help="compare two run dumps, manifests, or traces")
@@ -259,7 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_submit = sub.add_parser(
         "submit", help="submit one cell to a running job server")
-    p_submit.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p_submit.add_argument("benchmark", choices=known_benchmark_names())
     p_submit.add_argument("policy", choices=sorted(POLICIES))
     p_submit.add_argument("--instructions", type=int,
                           default=DEFAULT_INSTRUCTIONS)
@@ -615,17 +658,22 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """``repro trace``: record/replay traces or run with telemetry."""
-    from repro.workloads.generator import generate_layout
+    from repro.simulator.runner import get_layout
+    from repro.workloads.profiles import external_benchmark
     from repro.workloads.trace import TraceReplayer, record
     from repro.workloads.walker import PathWalker
 
     if args.trace_command == "run":
         return _cmd_trace_run(args)
     profile = get_profile(args.benchmark)
-    layout = generate_layout(profile, seed=args.seed)
+    layout = get_layout(args.benchmark, seed=args.seed)
+    ext = external_benchmark(args.benchmark)
     if args.trace_command == "record":
-        walker = PathWalker(layout, seed=args.seed,
-                            indirect_noise=profile.indirect_noise)
+        if ext is not None:
+            walker = ext.walker_factory(layout, args.seed)
+        else:
+            walker = PathWalker(layout, seed=args.seed,
+                                indirect_noise=profile.indirect_noise)
         with open(args.path, "w") as fh:
             instructions = record(walker, args.blocks, fh,
                                   workload=args.benchmark, seed=args.seed)
@@ -642,6 +690,51 @@ def cmd_trace(args: argparse.Namespace) -> int:
     machine.walker = replayer
     stats = machine.run(args.instructions, warmup=args.warmup)
     print(f"replayed {args.path}: {stats.summary()}")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """``repro ingest``: external trace -> content-addressed workload."""
+    from repro.traces.ingest import ingest_path
+    from repro.traces.schema import TraceIngestError
+
+    store = _resolve_store(args.store)
+    try:
+        report = ingest_path(args.file, fmt=args.format, store=store,
+                             name=args.register or "",
+                             budget=args.budget, window=args.window,
+                             seed=args.seed)
+    except (TraceIngestError, OSError) as exc:
+        print(f"ingest failed: {exc}")
+        return 1
+    source = ("ingested" if report.created else
+              "store hit (same bytes + parameters already ingested)")
+    print(f"{args.file}: {source}")
+    print(f"  format       {report.format}")
+    print(f"  digest       {report.digest}")
+    print(f"  events       {report.events:,}")
+    print(f"  instructions {report.instructions:,}")
+    ds = report.downsample
+    if ds is not None and ds.sampled:
+        print(f"  downsample   kept {ds.events_kept:,}/{ds.events_in:,} "
+              f"events across {ds.windows_kept}/{ds.windows_total} windows "
+              f"({ds.phase_windows} phase heads; budget {ds.budget:,}, "
+              f"seed {ds.seed})")
+    if store is None:
+        print("  (no --store/REPRO_STORE: blob not persisted; runs will "
+              "re-ingest from the source file)")
+    if args.register:
+        try:
+            from repro.traces.registry import register_ingested
+
+            reg = register_ingested(args.register, report,
+                                    budget=args.budget, window=args.window,
+                                    seed=args.seed)
+        except TraceIngestError as exc:
+            print(f"register failed: {exc}")
+            return 1
+        print(f"  registered   '{args.register}' in {reg} "
+              f"(usable in run/suite/sweep/bench)")
     return 0
 
 
@@ -1017,6 +1110,13 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("benchmarks:")
     for name in BENCHMARK_NAMES:
         print(f"  {name:16s} {get_profile(name).description}")
+    externals = external_benchmark_names()
+    if externals:
+        print("\ntrace benchmarks (ingested; see 'repro ingest'):")
+        for name in externals:
+            profile = get_profile(name)
+            digest = getattr(profile, "trace_digest", "")[:12]
+            print(f"  {name:16s} [{digest}] {profile.description}")
     print("\npolicies:")
     for name in sorted(POLICIES):
         print(f"  {name:18s} {POLICIES[name].description}")
@@ -1032,6 +1132,7 @@ COMMANDS = {
     "manifest": cmd_manifest,
     "workload": cmd_workload,
     "trace": cmd_trace,
+    "ingest": cmd_ingest,
     "diff": cmd_diff,
     "lint": cmd_lint,
     "serve": cmd_serve,

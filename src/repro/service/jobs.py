@@ -27,7 +27,7 @@ from repro.simulator.config import MachineConfig
 from repro.simulator.manifest import config_hash
 from repro.simulator.policies import POLICIES
 from repro.utils import pool_child_init  # noqa: F401  (re-export: historic home)
-from repro.workloads.profiles import BENCHMARK_NAMES
+from repro.workloads.profiles import known_benchmark_names
 
 
 class JobState:
@@ -121,7 +121,7 @@ def normalize_submission(body: Dict[str, object]) -> Dict[str, object]:
     if not isinstance(body, dict):
         raise ValueError("submission body must be a JSON object")
     benchmark = body.get("benchmark")
-    if benchmark not in BENCHMARK_NAMES:
+    if benchmark not in known_benchmark_names():
         raise ValueError("unknown benchmark %r (see 'repro list')"
                          % (benchmark,))
     policy = body.get("policy", "baseline")

@@ -52,7 +52,7 @@ from repro.simulator.stats import SimulationStats
 from repro.utils import canonical_digest
 
 #: store schema version (bump when the SQLite layout changes)
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 #: env var naming the store root directory; batch entry points
 #: (``repro run/suite/figure --store``, the experiments drivers, the
@@ -84,6 +84,17 @@ CREATE INDEX IF NOT EXISTS idx_results_last_access
     ON results (last_access);
 CREATE INDEX IF NOT EXISTS idx_results_cell
     ON results (benchmark, policy, seed);
+CREATE TABLE IF NOT EXISTS traces (
+    digest TEXT PRIMARY KEY,
+    name TEXT NOT NULL DEFAULT '',
+    source_sha TEXT NOT NULL DEFAULT '',
+    events INTEGER NOT NULL DEFAULT 0,
+    instructions INTEGER NOT NULL DEFAULT 0,
+    meta TEXT,
+    created REAL NOT NULL,
+    last_access REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_traces_source ON traces (source_sha);
 """
 
 
@@ -283,6 +294,99 @@ class ResultStore:
         return int(n)
 
     # ------------------------------------------------------------------
+    # trace blobs (ingested external workloads, PR 10)
+    # ------------------------------------------------------------------
+    # Traces are *inputs*, not results: rows are keyed by the blob's own
+    # content digest, never LRU-pruned (prune() touches only results),
+    # and their blobs are pinned against gc_blobs(). ``source_sha``
+    # fingerprints (source bytes, ingest parameters) so re-ingesting the
+    # same file is a pure index lookup — zero pipeline work.
+
+    def put_trace(self, payload: Dict[str, object], name: str = "",
+                  source_sha: str = "",
+                  meta: Optional[Dict[str, object]] = None
+                  ) -> Tuple[str, bool]:
+        """Store an ingested trace blob; ``(digest, created)``.
+
+        ``created`` is False when the digest was already indexed (the
+        blob write itself is always idempotent).
+        """
+        digest = self._write_blob(payload)
+        now = time.time()
+        with self._lock:
+            existed = self._db.execute(
+                "SELECT 1 FROM traces WHERE digest = ?",
+                (digest,)).fetchone() is not None
+            self._db.execute(
+                "INSERT INTO traces (digest, name, source_sha, events,"
+                " instructions, meta, created, last_access)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
+                " ON CONFLICT(digest) DO UPDATE SET"
+                " name = excluded.name,"
+                " source_sha = excluded.source_sha,"
+                " meta = excluded.meta,"
+                " last_access = excluded.last_access",
+                (digest, name, source_sha,
+                 int(len(payload.get("events", ()))),  # type: ignore[arg-type]
+                 int((meta or {}).get("instructions", 0)),
+                 json.dumps(meta or {}, sort_keys=True), now, now))
+            self._db.commit()
+        return digest, not existed
+
+    def get_trace(self, digest: str) -> Optional[Dict[str, object]]:
+        """Trace blob payload by digest (None on miss); bumps LRU clock."""
+        with self._lock:
+            row = self._db.execute(
+                "SELECT 1 FROM traces WHERE digest = ?",
+                (digest,)).fetchone()
+            if row is not None:
+                self._db.execute(
+                    "UPDATE traces SET last_access = ? WHERE digest = ?",
+                    (time.time(), digest))
+                self._db.commit()
+        if row is None:
+            return None
+        return self._read_blob(digest)
+
+    def find_trace(self, source_sha: Optional[str] = None,
+                   name: Optional[str] = None
+                   ) -> Optional[Dict[str, object]]:
+        """Newest trace row matching ``source_sha`` and/or ``name``."""
+        clauses, params = [], []
+        if source_sha is not None:
+            clauses.append("source_sha = ?")
+            params.append(source_sha)
+        if name is not None:
+            clauses.append("name = ?")
+            params.append(name)
+        if not clauses:
+            return None
+        with self._lock:
+            cur = self._db.execute(
+                "SELECT digest, name, source_sha, events, instructions,"
+                " meta, created, last_access FROM traces WHERE "
+                + " AND ".join(clauses) + " ORDER BY created DESC LIMIT 1",
+                params)
+            row = cur.fetchone()
+            if row is None:
+                return None
+            names = [c[0] for c in cur.description]
+        out = dict(zip(names, row))
+        if out.get("meta"):
+            out["meta"] = json.loads(out["meta"])
+        return out
+
+    def list_traces(self) -> "list[Dict[str, object]]":
+        """All trace rows (metadata only), newest first."""
+        with self._lock:
+            cur = self._db.execute(
+                "SELECT digest, name, source_sha, events, instructions,"
+                " created, last_access FROM traces ORDER BY created DESC")
+            names = [c[0] for c in cur.description]
+            rows = cur.fetchall()
+        return [dict(zip(names, row)) for row in rows]
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def info(self) -> Dict[str, object]:
@@ -293,11 +397,14 @@ class ResultStore:
                 "SELECT COUNT(*) FROM results").fetchone()
             (hits,) = self._db.execute(
                 "SELECT COALESCE(SUM(hits), 0) FROM results").fetchone()
+            (traces,) = self._db.execute(
+                "SELECT COUNT(*) FROM traces").fetchone()
         return {
             "root": str(self.root),
             "schema": STORE_SCHEMA_VERSION,
             "rows": int(rows),
             "hits": int(hits),
+            "traces": int(traces),
             "blobs": len(blobs),
             "blob_bytes": sum(p.stat().st_size for p in blobs),
         }
@@ -334,6 +441,10 @@ class ResultStore:
             referenced |= {d for (d,) in self._db.execute(
                 "SELECT telemetry_blob FROM results"
                 " WHERE telemetry_blob IS NOT NULL")}
+            # trace blobs are pinned: an ingested workload must survive
+            # result eviction, or every warm sweep over it re-ingests
+            referenced |= {d for (d,) in self._db.execute(
+                "SELECT digest FROM traces")}
         removed = 0
         for path in self.blob_dir.glob("*/*.json"):
             if path.stem not in referenced:

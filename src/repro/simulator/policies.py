@@ -34,7 +34,7 @@ from repro.simulator.config import MachineConfig, resolve_backend
 from repro.simulator.machine import Machine
 from repro.workloads.generator import generate_layout
 from repro.workloads.layout import CodeLayout
-from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.profiles import WorkloadProfile, external_benchmark
 
 #: PDIP table associativity per advertised budget (512 sets fixed)
 PDIP_ASSOC_FOR_KB = {11: 2, 22: 4, 44: 8, 87: 16}
@@ -153,15 +153,23 @@ def build_machine(layout: CodeLayout, profile: WorkloadProfile,
         machine_cls = FastMachine
     else:
         machine_cls = Machine
+    # externally provided benchmarks (ingested traces) bring their own
+    # walker; synthetic profiles get the default PathWalker inside Machine
+    ext = external_benchmark(profile.name)
+    walker = ext.walker_factory(layout, seed) if ext is not None else None
     return machine_cls(layout=layout, profile=profile, config=cfg,
                        hierarchy=hierarchy, prefetcher=prefetcher, pq=pq,
-                       seed=seed)
+                       seed=seed, walker=walker)
 
 
 def build_machine_for(benchmark_profile: WorkloadProfile, spec: PolicySpec,
                       config: Optional[MachineConfig] = None,
                       seed: int = 0) -> Machine:
     """Generate the layout and assemble the machine in one call."""
-    layout = generate_layout(benchmark_profile, seed=seed)
+    ext = external_benchmark(benchmark_profile.name)
+    if ext is not None:
+        layout = ext.layout_builder(seed)
+    else:
+        layout = generate_layout(benchmark_profile, seed=seed)
     return build_machine(layout, benchmark_profile, spec, config=config,
                          seed=seed)

@@ -34,7 +34,11 @@ from repro.simulator.stats import SimulationStats
 from repro.utils import geomean, pool_child_init
 from repro.workloads.generator import generate_layout
 from repro.workloads.layout import CodeLayout
-from repro.workloads.profiles import BENCHMARK_NAMES, get_profile
+from repro.workloads.profiles import (
+    BENCHMARK_NAMES,
+    external_benchmark,
+    get_profile,
+)
 
 #: default measured instructions (the paper runs 100M in gem5; the pure-
 #: Python model uses a scaled-down budget — long enough for the PDIP
@@ -61,7 +65,11 @@ def get_layout(benchmark: str, seed: int = 1) -> CodeLayout:
     key = (benchmark, seed)
     layout = _LAYOUT_CACHE.get(key)
     if layout is None:
-        layout = generate_layout(get_profile(benchmark), seed=seed)
+        ext = external_benchmark(benchmark)
+        if ext is not None:
+            layout = ext.layout_builder(seed)
+        else:
+            layout = generate_layout(get_profile(benchmark), seed=seed)
         _LAYOUT_CACHE[key] = layout
     return layout
 

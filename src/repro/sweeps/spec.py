@@ -60,7 +60,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.service.jobs import config_from_payload
 from repro.simulator.policies import POLICIES
-from repro.workloads import BENCHMARK_NAMES
+from repro.workloads import BENCHMARK_NAMES, known_benchmark_names
 
 __all__ = [
     "AXIS_NAMES",
@@ -147,13 +147,16 @@ def _int_list(value: Any, path: str, minimum: int = 0) -> Tuple[int, ...]:
 
 def _benchmark_axis(value: Any, path: str) -> Tuple[str, ...]:
     if value == "all":
+        # deliberately the synthetic catalog only: keeping "all" stable
+        # preserves plan digests when trace benchmarks come and go
         return tuple(BENCHMARK_NAMES)
     names = []
+    known = known_benchmark_names()
     for i, item in enumerate(_as_list(value)):
-        if item not in BENCHMARK_NAMES:
+        if item not in known:
             raise _fail("%s[%d]" % (path, i),
                         "unknown benchmark %r; valid: %s"
-                        % (item, ", ".join(BENCHMARK_NAMES)))
+                        % (item, ", ".join(known)))
         names.append(item)
     if not names:
         raise _fail(path, "axis is empty")

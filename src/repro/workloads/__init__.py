@@ -19,8 +19,13 @@ from repro.workloads.layout import (
 from repro.workloads.profiles import (
     BENCHMARK_NAMES,
     PROFILES,
+    ExternalBenchmark,
     WorkloadProfile,
+    external_benchmark,
+    external_benchmark_names,
     get_profile,
+    known_benchmark_names,
+    register_external_benchmark,
 )
 from repro.workloads.generator import generate_layout
 from repro.workloads.walker import ControlFlowEvent, PathWalker
@@ -33,7 +38,12 @@ __all__ = [
     "WorkloadProfile",
     "PROFILES",
     "BENCHMARK_NAMES",
+    "ExternalBenchmark",
+    "external_benchmark",
+    "external_benchmark_names",
     "get_profile",
+    "known_benchmark_names",
+    "register_external_benchmark",
     "generate_layout",
     "PathWalker",
     "ControlFlowEvent",

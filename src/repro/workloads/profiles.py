@@ -28,8 +28,9 @@ footprint >> L1-I >> useful-locality regime.
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -265,14 +266,122 @@ PROFILES: Dict[str, WorkloadProfile] = {
 }
 
 
+# --------------------------------------------------------------------------
+# External benchmark registry
+#
+# Trace-driven workloads (and any future non-generator workload source)
+# plug in here: a provider registers a profile plus factories that build
+# the `CodeLayout` and the walker for a benchmark name, and from then on
+# the name works everywhere a synthetic profile name does — `repro run`,
+# suites, sweeps, the bench matrix, the service.
+#
+# Providers are loaded lazily by dotted module name the first time an
+# unknown benchmark is looked up.  The string import keeps the layering
+# DAG honest: `workloads` never *statically* imports the trace subsystem
+# (which sits above it and pulls in the service store); the provider
+# module imports us and calls :func:`register_external_benchmark` at
+# import time — the classic entry-point inversion.
+
+
+@dataclass(frozen=True)
+class ExternalBenchmark:
+    """A benchmark backed by something other than the synthetic generator.
+
+    ``layout_builder(seed)`` returns the `CodeLayout`; ``walker_factory``
+    ``(layout, seed)`` returns an object with the `PathWalker` surface
+    (``next_event`` / ``snapshot_stack`` / ``.layout``) that drives the
+    machine.  Both must be importable from a fresh process (pool children
+    re-resolve benchmarks by name) and deterministic for a given seed.
+    """
+
+    profile: WorkloadProfile
+    layout_builder: Callable[[int], Any]
+    walker_factory: Callable[[Any, int], Any]
+
+
+_EXTERNAL: Dict[str, ExternalBenchmark] = {}
+
+#: Provider modules imported (once) on the first unknown-name lookup.
+#: Each must call :func:`register_external_benchmark` at import time.
+EXTERNAL_PROVIDERS: Tuple[str, ...] = ("repro.traces.registry",)
+
+_providers_loaded = False
+
+
+def register_external_benchmark(
+    name: str,
+    profile: WorkloadProfile,
+    layout_builder: Callable[[int], Any],
+    walker_factory: Callable[[Any, int], Any],
+    replace_existing: bool = False,
+) -> None:
+    """Register *name* as an externally provided benchmark.
+
+    Synthetic profile names are reserved; re-registering an external
+    name requires ``replace_existing`` so accidental collisions fail
+    loudly instead of last-writer-wins.
+    """
+    if name in PROFILES:
+        raise ValueError(
+            "cannot register external benchmark %r: shadows a synthetic profile"
+            % (name,)
+        )
+    if name in _EXTERNAL and not replace_existing:
+        raise ValueError("external benchmark %r already registered" % (name,))
+    if profile.name != name:
+        raise ValueError(
+            "profile.name %r does not match benchmark name %r"
+            % (profile.name, name)
+        )
+    _EXTERNAL[name] = ExternalBenchmark(
+        profile=profile,
+        layout_builder=layout_builder,
+        walker_factory=walker_factory,
+    )
+
+
+def _load_providers() -> None:
+    global _providers_loaded
+    if _providers_loaded:
+        return
+    _providers_loaded = True  # set first: a broken provider should not retry forever
+    for module in EXTERNAL_PROVIDERS:
+        importlib.import_module(module)
+
+
+def external_benchmark(name: str) -> Optional[ExternalBenchmark]:
+    """The :class:`ExternalBenchmark` for *name*, or ``None`` if synthetic/unknown."""
+    if name in PROFILES:
+        return None
+    if name not in _EXTERNAL:
+        _load_providers()
+    return _EXTERNAL.get(name)
+
+
+def external_benchmark_names() -> Tuple[str, ...]:
+    """Sorted names of all registered external benchmarks."""
+    _load_providers()
+    return tuple(sorted(_EXTERNAL))
+
+
+def known_benchmark_names() -> Tuple[str, ...]:
+    """Every runnable benchmark name: synthetic profiles then external."""
+    return BENCHMARK_NAMES + external_benchmark_names()
+
+
 def get_profile(name: str) -> WorkloadProfile:
-    """Look up a benchmark profile by paper name.
+    """Look up a benchmark profile by paper name or registered trace name.
 
     Raises ``KeyError`` with the list of valid names on a miss.
     """
     try:
         return PROFILES[name]
     except KeyError:
-        raise KeyError(
-            "unknown benchmark %r; valid: %s" % (name, ", ".join(BENCHMARK_NAMES))
-        )
+        pass
+    ext = external_benchmark(name)
+    if ext is not None:
+        return ext.profile
+    raise KeyError(
+        "unknown benchmark %r; valid: %s"
+        % (name, ", ".join(known_benchmark_names()))
+    )

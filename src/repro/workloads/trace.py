@@ -182,7 +182,13 @@ class TraceReplayer:
         self.events += 1
         block = self.layout.blocks[bid]
         if block.kind in (BranchKind.CALL, BranchKind.INDIRECT_CALL):
-            if block.fallthrough is not None:
+            # Bounded like a real return-address stack: traces with
+            # unbalanced call/return mixes (common in externally captured
+            # streams replayed with loop=True) must not grow the stack
+            # without limit. Dropping the push on overflow is O(1) and
+            # deterministic, so both backends replay identically.
+            if (block.fallthrough is not None
+                    and len(self.stack) < PathWalker.MAX_STACK_DEPTH):
                 self.stack.append(block.fallthrough)
         elif block.kind is BranchKind.RETURN and self.stack:
             self.stack.pop()

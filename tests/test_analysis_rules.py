@@ -274,6 +274,47 @@ class TestLayering:
         }, [LayeringRule()])
         assert findings == []
 
+    def test_traces_may_import_workloads_and_service(self, tmp_path):
+        findings = lint(tmp_path, {
+            "pkg/service/__init__.py": "",
+            "pkg/service/store.py": "S = 1\n",
+            "pkg/workloads/layout.py": "L = 1\n",
+            "pkg/traces/__init__.py": "",
+            "pkg/traces/ingest.py": (
+                "from pkg.service.store import S\n"
+                "from pkg.workloads.layout import L\n"
+                "from pkg.utils import thing\n"
+            ),
+        }, [LayeringRule()])
+        assert findings == []
+
+    def test_traces_must_not_import_simulator(self, tmp_path):
+        # ingestion builds workloads; it must not reach up into the
+        # machinery that will eventually run them
+        findings = lint(tmp_path, {
+            "pkg/simulator/runner.py": "X = 1\n",
+            "pkg/traces/__init__.py": "",
+            "pkg/traces/synth.py": "from pkg.simulator.runner import X\n",
+        }, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        assert findings[0].path == "pkg/traces/synth.py"
+        assert "simulator" in findings[0].message
+
+    def test_model_and_simulator_must_not_import_traces(self, tmp_path):
+        # the inverse edge: ingested benchmarks reach the simulator only
+        # through the workloads.profiles provider hook (a dotted-name
+        # import at lookup time), never a static import
+        units = ("core", "frontend", "simulator", "workloads")
+        files = {"pkg/traces/__init__.py": "",
+                 "pkg/traces/registry.py": "T = 1\n"}
+        files.update(("pkg/%s/mod.py" % unit,
+                      "from pkg.traces.registry import T\n")
+                     for unit in units)
+        findings = lint(tmp_path, files, [LayeringRule()])
+        assert rules_fired(findings) == ["layering-forbidden-import"]
+        assert (sorted(f.path for f in findings)
+                == sorted("pkg/%s/mod.py" % unit for unit in units))
+
 
 class TestHotPath:
     def test_per_event_class_without_slots(self, tmp_path):

@@ -1,0 +1,176 @@
+"""Error paths of the internal TraceReplayer (repro.workloads.trace).
+
+These are the simulator's *own* trace dumps (``repro trace``), not the
+external ``repro ingest`` format — see ``tests/test_traces_schema.py``
+for the latter. Every rejection here must be a ``TraceError`` with a
+message that names the offending line or record, because a replayed
+trace that silently simulates garbage is worse than one that crashes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import PathWalker, generate_layout, get_profile
+from repro.workloads.trace import (
+    MAGIC,
+    TraceError,
+    TraceHeader,
+    TraceReplayer,
+    record_to_string,
+)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return generate_layout(get_profile("noop"), seed=1)
+
+
+@pytest.fixture(scope="module")
+def trace_text(layout):
+    walker = PathWalker(layout, seed=1)
+    return record_to_string(walker, 50, workload="noop", seed=1)
+
+
+def corrupt(text, lineno, new_line):
+    """Replace one line of a recorded trace (0 = header)."""
+    lines = text.splitlines()
+    lines[lineno] = new_line
+    return "\n".join(lines) + "\n"
+
+
+class TestHeader:
+    def test_malformed_header(self, layout):
+        with pytest.raises(TraceError, match="not a repro trace"):
+            TraceReplayer(layout, "GARBAGE HEADER\n0 1 1\n")
+
+    def test_wrong_magic(self, layout, trace_text):
+        bad = corrupt(trace_text, 0,
+                      trace_text.splitlines()[0].replace(MAGIC, "OTHER-FMT"))
+        with pytest.raises(TraceError, match="not a repro trace"):
+            TraceReplayer(layout, bad)
+
+    def test_version_mismatch(self, layout, trace_text):
+        bad = corrupt(trace_text, 0,
+                      trace_text.splitlines()[0].replace("v1", "v2"))
+        with pytest.raises(TraceError, match="unsupported trace version"):
+            TraceReplayer(layout, bad)
+
+    def test_mangled_header_field(self, layout):
+        line = f"{MAGIC} v1 workload=noop seed=pork blocks=4"
+        with pytest.raises(TraceError, match="bad trace header"):
+            TraceReplayer(layout, line + "\n0 1 1\n")
+
+    def test_header_roundtrip(self):
+        hdr = TraceHeader(workload="noop", seed=7, num_blocks=12)
+        assert TraceHeader.parse(hdr.line()) == hdr
+
+    def test_empty_trace(self, layout):
+        with pytest.raises(TraceError, match="empty trace"):
+            TraceReplayer(layout, "")
+
+    def test_header_but_no_records(self, layout, trace_text):
+        header_only = trace_text.splitlines()[0] + "\n"
+        with pytest.raises(TraceError, match="no records"):
+            TraceReplayer(layout, header_only)
+
+
+class TestLayoutIdentity:
+    def test_block_count_mismatch(self, trace_text):
+        # replaying against a different layout must fail up front, not
+        # mid-simulation on an out-of-range block id
+        other = generate_layout(get_profile("tatp"), seed=1)
+        with pytest.raises(TraceError, match="-block layout"):
+            TraceReplayer(other, trace_text)
+
+    def test_mismatch_error_names_both_sizes(self, layout, trace_text):
+        other = generate_layout(get_profile("tatp"), seed=1)
+        assert other.num_blocks != layout.num_blocks
+        with pytest.raises(TraceError) as exc:
+            TraceReplayer(other, trace_text)
+        assert str(layout.num_blocks) in str(exc.value)
+        assert str(other.num_blocks) in str(exc.value)
+
+
+class TestRecords:
+    def test_truncated_record_mid_stream(self, layout, trace_text):
+        bad = corrupt(trace_text, 10, "7 1")  # lost the successor field
+        with pytest.raises(TraceError, match="expected 3 fields"):
+            TraceReplayer(layout, bad)
+
+    def test_truncation_reports_the_line_number(self, layout, trace_text):
+        bad = corrupt(trace_text, 10, "7 1")
+        with pytest.raises(TraceError, match="line 11"):
+            TraceReplayer(layout, bad)
+
+    def test_non_integer_field(self, layout, trace_text):
+        bad = corrupt(trace_text, 3, "7 one 9")
+        with pytest.raises(TraceError, match="non-integer field"):
+            TraceReplayer(layout, bad)
+
+    def test_taken_out_of_domain(self, layout, trace_text):
+        first = trace_text.splitlines()[1].split()
+        bad = corrupt(trace_text, 1, f"{first[0]} 2 {first[2]}")
+        with pytest.raises(TraceError, match="taken must be 0/1"):
+            TraceReplayer(layout, bad)
+
+    def test_comments_and_blanks_tolerated(self, layout, trace_text):
+        lines = trace_text.splitlines()
+        lines.insert(1, "# annotated by a human")
+        lines.insert(5, "")
+        replayer = TraceReplayer(layout, "\n".join(lines) + "\n")
+        assert len(replayer) == 50
+
+
+class TestVerification:
+    def test_block_id_out_of_range(self, layout, trace_text):
+        lines = trace_text.splitlines()
+        parts = lines[1].split()
+        bad = corrupt(trace_text, 1,
+                      f"{layout.num_blocks + 5} {parts[1]} {parts[2]}")
+        with pytest.raises(TraceError, match="out of range"):
+            TraceReplayer(layout, bad)
+
+    def test_successor_out_of_range(self, layout, trace_text):
+        parts = trace_text.splitlines()[1].split()
+        bad = corrupt(trace_text, 1,
+                      f"{parts[0]} {parts[1]} {layout.num_blocks + 5}")
+        with pytest.raises(TraceError, match="successor .* out of range"):
+            TraceReplayer(layout, bad)
+
+    def test_successor_adjacency_enforced(self, layout, trace_text):
+        # point record 5's successor somewhere record 6 doesn't go
+        lines = trace_text.splitlines()
+        parts = lines[5].split()
+        actual_next = int(lines[6].split()[0])
+        wrong = (actual_next + 1) % layout.num_blocks
+        bad = corrupt(trace_text, 5, f"{parts[0]} {parts[1]} {wrong}")
+        with pytest.raises(TraceError,
+                           match="but next record is block"):
+            TraceReplayer(layout, bad)
+
+    def test_verify_false_skips_semantic_checks(self, layout, trace_text):
+        lines = trace_text.splitlines()
+        parts = lines[5].split()
+        actual_next = int(lines[6].split()[0])
+        wrong = (actual_next + 1) % layout.num_blocks
+        bad = corrupt(trace_text, 5, f"{parts[0]} {parts[1]} {wrong}")
+        # verify=False is the documented escape hatch for hand-edited
+        # traces; construction succeeds, caveat emptor
+        replayer = TraceReplayer(layout, bad, verify=False)
+        assert len(replayer) == 50
+
+
+class TestExhaustion:
+    def test_stop_iteration_when_not_looping(self, layout, trace_text):
+        replayer = TraceReplayer(layout, trace_text)
+        for _ in range(len(replayer)):
+            replayer.next_event()
+        with pytest.raises(StopIteration, match="exhausted after 50"):
+            replayer.next_event()
+
+    def test_loop_wraps_instead(self, layout, trace_text):
+        replayer = TraceReplayer(layout, trace_text, loop=True)
+        for _ in range(len(replayer) * 2 + 3):
+            replayer.next_event()
+        assert replayer.events == len(replayer) * 2 + 3

@@ -1,0 +1,131 @@
+"""Format converters and sniffing (repro.traces.convert)."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.traces.convert import (
+    CHAMPSIM_KINDS,
+    load_records,
+    read_champsim,
+    read_csv,
+    sniff_format,
+)
+from repro.traces.schema import (
+    RECORD_KINDS,
+    TraceFormatError,
+    TraceRecordError,
+    TraceSchemaError,
+)
+
+CHAMPSIM = [
+    "0x1000 0x2000 1 BRANCH_DIRECT_CALL",
+    "0x2008 0 0 BRANCH_CONDITIONAL",
+    "0x2010 0x1004 1 BRANCH_RETURN",
+]
+
+CSV = [
+    "pc,target,taken",
+    "0x1000,0x2000,1",
+    "0x2008,,0",
+    "0x2010,0x1004,1",
+]
+
+
+class TestChampsim:
+    def test_parse(self):
+        meta, records = read_champsim(CHAMPSIM)
+        assert meta["converted_from"] == "champsim"
+        assert [r.kind for r in records] == ["call", "cond", "return"]
+        assert records[0].pc == 0x1000 and records[0].target == 0x2000
+        assert not records[1].taken and records[1].target == 0
+
+    def test_kind_map_targets_schema_kinds(self):
+        assert set(CHAMPSIM_KINDS.values()) <= set(RECORD_KINDS)
+
+    def test_unknown_branch_type(self):
+        with pytest.raises(TraceRecordError) as exc:
+            read_champsim(["0x1000 0x2000 1 BRANCH_SIDEWAYS"])
+        assert exc.value.category == "bad-field-value"
+        assert exc.value.lineno == 1
+
+    def test_wrong_field_count(self):
+        with pytest.raises(TraceRecordError) as exc:
+            read_champsim(["0x1000 0x2000 1"])
+        assert exc.value.category == "malformed-record"
+
+    def test_taken_with_zero_target(self):
+        with pytest.raises(TraceRecordError) as exc:
+            read_champsim(["0x1000 0 1 BRANCH_DIRECT_JUMP"])
+        assert exc.value.category == "missing-target"
+
+    def test_no_records(self):
+        with pytest.raises(TraceSchemaError) as exc:
+            read_champsim(["# only comments"])
+        assert exc.value.category == "empty-trace"
+
+
+class TestCsv:
+    def test_parse_with_header_row(self):
+        meta, records = read_csv(CSV)
+        assert meta["converted_from"] == "csv"
+        assert len(records) == 3
+        # csv carries no kind information
+        assert {r.kind for r in records} == {"unknown"}
+
+    def test_parse_without_header_row(self):
+        _, records = read_csv(CSV[1:])
+        assert len(records) == 3
+
+    def test_bad_taken(self):
+        with pytest.raises(TraceRecordError) as exc:
+            read_csv(["0x1000,0x2000,yes"])
+        assert exc.value.category == "bad-field-value"
+
+    def test_bad_address(self):
+        with pytest.raises(TraceRecordError) as exc:
+            read_csv(["pork,0x2000,1"])
+        assert exc.value.category == "bad-field-type"
+
+
+class TestSniffAndLoad:
+    def test_sniff(self):
+        assert sniff_format('{"schema": "repro-xtrace"}') == "jsonl"
+        assert sniff_format("0x1000,0x2000,1") == "csv"
+        assert sniff_format("0x1000 0x2000 1 BRANCH_RETURN") == "champsim"
+
+    def test_load_auto_champsim(self, tmp_path):
+        path = tmp_path / "t.champsim"
+        path.write_text("\n".join(CHAMPSIM) + "\n")
+        meta, records = load_records(str(path))
+        assert meta["format"] == "champsim"
+        assert len(records) == 3
+
+    def test_load_gzipped_by_magic_not_suffix(self, tmp_path):
+        path = tmp_path / "t.txt"  # deliberately no .gz suffix
+        with gzip.open(path, "wt") as fh:
+            fh.write("\n".join(CSV) + "\n")
+        meta, records = load_records(str(path), fmt="csv")
+        assert len(records) == 3
+
+    def test_explicit_format_overrides_sniffing(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("\n".join(CSV) + "\n")
+        with pytest.raises(TraceRecordError):
+            # forcing champsim on csv rows must fail loudly, not guess
+            load_records(str(path), fmt="champsim")
+
+    def test_unknown_format_name(self, tmp_path):
+        path = tmp_path / "t"
+        path.write_text("x\n")
+        with pytest.raises(TraceFormatError):
+            load_records(str(path), fmt="etrace")
+
+    def test_binary_garbage_is_not_a_trace(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"\x00\xff\xfe\x01" * 64)
+        with pytest.raises(TraceFormatError) as exc:
+            load_records(str(path))
+        assert exc.value.category == "not-a-trace"

@@ -1,0 +1,110 @@
+"""Deterministic, phase-preserving downsampling (repro.traces.downsample).
+
+The kept stream is a pure function of ``(events, budget, window, seed)``;
+the blob digest over the canonical fixture below is **golden-pinned** —
+if an algorithm change moves it, that is a schema event and the pin must
+be bumped consciously, never silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.downsample import (
+    DEFAULT_BUDGET,
+    MAX_BLOCK_INSTRUCTIONS,
+    downsample_events,
+    estimate_instructions,
+)
+from repro.traces.ingest import ingest_events
+from repro.traces.schema import BlockEvent, TraceIngestError
+
+#: ingest digest of make_phased_events() under default parameters
+GOLDEN_DIGEST = "3ce0adfd2b1a143a964cbd7fd48e0e36a1680056"
+
+
+def make_phased_events():
+    """Three phases of 40 blocks each, looping 120 times per phase."""
+    events = []
+    for phase in range(3):
+        base = 0x10000 * (phase + 1)
+        keys = [(base + i * 64, base + i * 64 + 32) for i in range(40)]
+        for _rep in range(120):
+            for (s, e) in keys:
+                events.append(BlockEvent(start=s, end=e, size=4,
+                                         taken=True, target=0,
+                                         kind="direct"))
+    return events
+
+
+def block(start=0x100, span=32):
+    return BlockEvent(start=start, end=start + span, size=4,
+                      taken=True, target=0, kind="direct")
+
+
+class TestEstimate:
+    def test_span_to_instructions(self):
+        assert estimate_instructions(block(span=32), 4) == 9
+        assert estimate_instructions(block(span=0), 4) == 1
+
+    def test_absurd_span_clamped(self):
+        # a cross-library jump must not eat the whole budget
+        assert (estimate_instructions(block(span=1 << 30), 4)
+                == MAX_BLOCK_INSTRUCTIONS)
+
+
+class TestDownsample:
+    def test_under_budget_is_identity(self):
+        events = [block(start=0x100 + i * 64) for i in range(10)]
+        kept, report = downsample_events(events, 4)
+        assert kept == events
+        assert not report.sampled
+
+    def test_deterministic_for_fixed_seed(self):
+        events = make_phased_events()
+        kept1, _ = downsample_events(events, 4)
+        kept2, _ = downsample_events(events, 4)
+        assert kept1 == kept2
+
+    def test_seed_changes_the_fill_selection(self):
+        events = make_phased_events()
+        _, d0, _ = ingest_events(events, 4, seed=0)
+        _, d1, _ = ingest_events(events, 4, seed=1)
+        assert d0 != d1
+
+    def test_golden_digest_pinned(self):
+        payload, digest, report = ingest_events(make_phased_events(), 4)
+        assert digest == GOLDEN_DIGEST
+        assert report.sampled
+        assert report.instructions_kept <= DEFAULT_BUDGET
+
+    def test_all_phases_survive(self):
+        # head-truncation would keep only phase 1; the sampler must keep
+        # novelty spikes from every phase
+        kept, report = downsample_events(make_phased_events(), 4)
+        assert {ev.start >> 16 for ev in kept} == {1, 2, 3}
+        assert report.phase_windows >= 3
+
+    def test_kept_stream_stays_chronological(self):
+        events = make_phased_events()
+        kept, _ = downsample_events(events, 4)
+        pos = {id(ev): i for i, ev in enumerate(events)}
+        indices = [pos[id(ev)] for ev in kept]
+        assert indices == sorted(indices)
+
+    def test_budget_respected(self):
+        kept, report = downsample_events(make_phased_events(), 4,
+                                         budget=30_000)
+        assert report.instructions_kept <= 30_000
+        assert report.events_kept == len(kept)
+
+    def test_budget_below_entry_window(self):
+        with pytest.raises(TraceIngestError) as exc:
+            downsample_events(make_phased_events(), 4, budget=100)
+        assert exc.value.category == "budget-too-small"
+
+    def test_nonpositive_parameters(self):
+        with pytest.raises(TraceIngestError):
+            downsample_events([block()], 4, budget=0)
+        with pytest.raises(TraceIngestError):
+            downsample_events([block()], 4, window=0)

@@ -1,0 +1,234 @@
+"""Schema validation and the malformed-input taxonomy (repro.traces.schema)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.traces.schema import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    TAXONOMY,
+    BlockEvent,
+    BranchRecord,
+    TraceFormatError,
+    TraceIngestError,
+    TraceRecordError,
+    TraceSchemaError,
+    TraceStreamError,
+    derive_block_events,
+    read_jsonl,
+    validate_header,
+    validate_record,
+    write_jsonl,
+)
+
+HEADER = '{"schema": "repro-xtrace", "version": 1, "isize": 4}'
+
+
+def parse(*lines):
+    return read_jsonl(list(lines))
+
+
+class TestHeader:
+    def test_valid_header_preserves_extra_keys(self):
+        meta = validate_header({"schema": SCHEMA_NAME,
+                               "version": SCHEMA_VERSION,
+                                "source": "pin-3.28"})
+        assert meta["source"] == "pin-3.28"
+
+    def test_not_json_is_not_a_trace(self):
+        with pytest.raises(TraceFormatError) as exc:
+            parse("BSTREAM 9000", '{"pc": 1}')
+        assert exc.value.category == "not-a-trace"
+        assert exc.value.lineno == 1
+
+    def test_wrong_schema_name(self):
+        with pytest.raises(TraceFormatError) as exc:
+            parse('{"schema": "champsim", "version": 1}')
+        assert exc.value.category == "not-a-trace"
+
+    def test_future_version_rejected(self):
+        with pytest.raises(TraceSchemaError) as exc:
+            parse('{"schema": "repro-xtrace", "version": 2}')
+        assert exc.value.category == "unsupported-version"
+
+    def test_version_wrong_type(self):
+        with pytest.raises(TraceSchemaError) as exc:
+            parse('{"schema": "repro-xtrace", "version": "1"}')
+        assert exc.value.category == "bad-header-field"
+
+    def test_bool_version_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_header({"schema": SCHEMA_NAME, "version": True})
+
+    def test_bad_isize(self):
+        with pytest.raises(TraceSchemaError) as exc:
+            parse('{"schema": "repro-xtrace", "version": 1, "isize": 0}')
+        assert exc.value.category == "bad-header-field"
+
+    def test_empty_input(self):
+        with pytest.raises(TraceFormatError):
+            parse()
+
+    def test_header_but_no_records(self):
+        with pytest.raises(TraceSchemaError) as exc:
+            parse(HEADER)
+        assert exc.value.category == "empty-trace"
+
+
+class TestRecords:
+    def test_minimal_record(self):
+        _, records = parse(HEADER, '{"pc": 4096, "taken": false}')
+        assert records == [BranchRecord(pc=4096, taken=False, target=0,
+                                        size=4, kind="unknown")]
+
+    def test_hex_string_addresses(self):
+        _, records = parse(
+            HEADER, '{"pc": "0x1000", "taken": true, "target": "0x2000"}')
+        assert records[0].pc == 0x1000 and records[0].target == 0x2000
+
+    def test_comments_and_blank_lines_skipped(self):
+        _, records = parse("", "# captured by totally-real-tool", HEADER,
+                           "# mid-stream comment",
+                           '{"pc": 64, "taken": false}')
+        assert len(records) == 1
+
+    def test_record_not_json(self):
+        with pytest.raises(TraceRecordError) as exc:
+            parse(HEADER, "not json at all")
+        assert exc.value.category == "malformed-record"
+        assert exc.value.lineno == 2
+
+    def test_record_not_an_object(self):
+        with pytest.raises(TraceRecordError):
+            parse(HEADER, "[1, 2, 3]")
+
+    def test_missing_pc(self):
+        with pytest.raises(TraceRecordError) as exc:
+            parse(HEADER, '{"taken": false}')
+        assert exc.value.category == "bad-field-value"
+
+    def test_bool_pc_rejected(self):
+        # bool is an int subclass in Python; a trace with "pc": true is
+        # corrupt, not address 1
+        with pytest.raises(TraceRecordError) as exc:
+            parse(HEADER, '{"pc": true, "taken": false}')
+        assert exc.value.category == "bad-field-type"
+
+    def test_non_integer_pc_string(self):
+        with pytest.raises(TraceRecordError) as exc:
+            parse(HEADER, '{"pc": "0xZZ", "taken": false}')
+        assert exc.value.category == "bad-field-type"
+
+    def test_negative_pc(self):
+        with pytest.raises(TraceRecordError) as exc:
+            parse(HEADER, '{"pc": -4, "taken": false}')
+        assert exc.value.category == "bad-field-value"
+
+    def test_taken_must_be_bool(self):
+        with pytest.raises(TraceRecordError) as exc:
+            parse(HEADER, '{"pc": 4096, "taken": 1}')
+        assert exc.value.category == "bad-field-type"
+
+    def test_taken_without_target(self):
+        with pytest.raises(TraceRecordError) as exc:
+            parse(HEADER, '{"pc": 4096, "taken": true}')
+        assert exc.value.category == "missing-target"
+
+    def test_null_target_counts_as_missing(self):
+        with pytest.raises(TraceRecordError) as exc:
+            parse(HEADER, '{"pc": 4096, "taken": true, "target": null}')
+        assert exc.value.category == "missing-target"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceRecordError) as exc:
+            parse(HEADER, '{"pc": 4096, "taken": false, "kind": "sideways"}')
+        assert exc.value.category == "bad-field-value"
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TraceRecordError) as exc:
+            validate_record({"pc": 4, "taken": False, "size": 0}, 4, 2)
+        assert exc.value.category == "bad-field-value"
+
+
+class TestTaxonomy:
+    def test_every_category_is_documented(self):
+        # every category an error can carry must have a taxonomy row
+        for cls in (TraceIngestError, TraceFormatError, TraceSchemaError,
+                    TraceRecordError, TraceStreamError):
+            assert cls.category in TAXONOMY
+
+    def test_message_carries_category_and_line(self):
+        err = TraceRecordError("boom", lineno=17)
+        assert str(err) == "[malformed-record] boom (line 17)"
+        assert TraceIngestError("x", category="bundle-drift").category == \
+            "bundle-drift"
+
+    def test_unknown_category_is_a_programming_error(self):
+        with pytest.raises(AssertionError):
+            TraceIngestError("x", category="made-up")
+
+    def test_all_errors_are_value_errors(self):
+        # callers that do not care about the taxonomy can still catch
+        # plain ValueError
+        assert issubclass(TraceIngestError, ValueError)
+
+
+class TestBlockEvents:
+    def test_derivation(self):
+        records = [
+            BranchRecord(pc=0x108, taken=True, target=0x200, size=4,
+                         kind="direct"),
+            BranchRecord(pc=0x20c, taken=False, target=0, size=4,
+                         kind="cond"),
+            BranchRecord(pc=0x218, taken=True, target=0x100, size=4,
+                         kind="direct"),
+        ]
+        events = derive_block_events(records)
+        # first block starts at record 0's pc; later blocks start at the
+        # previous record's flow-out
+        assert [(e.start, e.end) for e in events] == [
+            (0x108, 0x108), (0x200, 0x20c), (0x210, 0x218)]
+        assert events[1].flow_out == 0x210  # not taken: pc + size
+
+    def test_inconsistent_flow(self):
+        records = [
+            BranchRecord(pc=0x100, taken=True, target=0x500, size=4,
+                         kind="direct"),
+            BranchRecord(pc=0x400, taken=False, target=0, size=4,
+                         kind="cond"),  # pc precedes block start 0x500
+        ]
+        with pytest.raises(TraceStreamError) as exc:
+            derive_block_events(records)
+        assert exc.value.category == "inconsistent-flow"
+
+    def test_empty_stream(self):
+        with pytest.raises(TraceIngestError) as exc:
+            derive_block_events([])
+        assert exc.value.category == "empty-trace"
+
+    def test_block_event_key_is_static_identity(self):
+        a = BlockEvent(start=1, end=2, size=4, taken=True, target=9,
+                       kind="direct")
+        b = BlockEvent(start=1, end=2, size=4, taken=False, target=0,
+                       kind="cond")
+        assert a.key() == b.key()
+
+
+class TestRoundTrip:
+    def test_write_then_read(self):
+        records = [
+            BranchRecord(pc=0x100, taken=True, target=0x200, size=4,
+                         kind="call"),
+            BranchRecord(pc=0x204, taken=False, target=0, size=2,
+                         kind="cond"),
+            BranchRecord(pc=0x20c, taken=True, target=0x104, size=4,
+                         kind="return"),
+        ]
+        buf = io.StringIO()
+        write_jsonl(buf, records, meta={"isize": 4, "source": "unit-test"})
+        meta, back = read_jsonl(buf.getvalue().splitlines())
+        assert back == records
+        assert meta["source"] == "unit-test"
